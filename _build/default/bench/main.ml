@@ -1,0 +1,350 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (§4) plus the ablations called out in DESIGN.md, and runs
+   Bechamel micro-benchmarks for the per-operation costs.
+
+     dune exec bench/main.exe                 - everything, paper-scale sizes
+     dune exec bench/main.exe -- fig5         - only Fig. 5
+     dune exec bench/main.exe -- micro        - only the controller micro-benchmark
+     dune exec bench/main.exe -- groups       - the S2 backup-group count table
+     dune exec bench/main.exe -- ablations    - BFD/flow-mod sweeps + replication
+     dune exec bench/main.exe -- extensions   - FIB cache + load balancing (S1)
+     dune exec bench/main.exe -- ops          - Bechamel per-operation costs
+     dune exec bench/main.exe -- all --quick  - reduced sizes (CI-friendly)
+     dune exec bench/main.exe -- all --full   - 3 repetitions like the paper *)
+
+let quick = Array.exists (String.equal "--quick") Sys.argv
+let full = Array.exists (String.equal "--full") Sys.argv
+
+let section title = Fmt.pr "@.=== %s ===@.@." title
+
+(* ------------------------------------------------------------------ *)
+(* Figure 5: convergence time vs number of prefixes.                   *)
+
+let run_fig5 () =
+  section "Figure 5 - convergence time vs #prefixes (box-plot summary)";
+  let sizes =
+    if quick then [1_000; 5_000; 10_000; 50_000] else Experiments.Fig5.paper_sizes
+  in
+  let repetitions = if full then 3 else 1 in
+  Fmt.pr "sizes: %a; repetitions: %d; 100 monitored flows each@.@."
+    Fmt.(list ~sep:comma int)
+    sizes repetitions;
+  let rows =
+    Experiments.Fig5.run ~sizes ~repetitions
+      ~progress:(fun msg -> Fmt.epr "  %s@." msg)
+      ()
+  in
+  Experiments.Fig5.pp_table Fmt.stdout rows;
+  Fmt.pr "@.";
+  Experiments.Fig5.pp_ascii_figure Fmt.stdout rows
+
+(* ------------------------------------------------------------------ *)
+(* S4 micro-benchmark: per-update controller processing time.          *)
+
+let run_micro () =
+  section "S4 micro-benchmark - controller BGP update processing";
+  let count = if quick then 50_000 else 500_000 in
+  Fmt.pr "feeding 2 x %d updates from two peers through the decision process@." count;
+  Fmt.pr "and the Listing 1 algorithm (wall-clock per update)...@.@.";
+  let report = Experiments.Micro.run ~count () in
+  Fmt.pr "%a@." Experiments.Micro.pp_report report
+
+(* ------------------------------------------------------------------ *)
+(* S2: number of backup-groups vs number of peers.                     *)
+
+let run_groups () =
+  section "S2 - backup-group count vs peers (n x (n-1), 90 at n=10)";
+  Fmt.pr "%-8s %12s %12s@." "peers" "allocated" "n*(n-1)";
+  List.iter
+    (fun n ->
+      (* Allocate every ordered pair, as a worst-case table would. *)
+      let groups = Supercharger.Backup_group.create (Supercharger.Vnh.create ()) in
+      for i = 0 to n - 1 do
+        for j = 0 to n - 1 do
+          if i <> j then
+            ignore
+              (Supercharger.Backup_group.find_or_create groups
+                 [
+                   Net.Ipv4.of_octets 10 0 0 (2 + i);
+                   Net.Ipv4.of_octets 10 0 0 (2 + j);
+                 ])
+        done
+      done;
+      Fmt.pr "%-8d %12d %12d@." n
+        (Supercharger.Backup_group.count groups)
+        (Supercharger.Backup_group.theoretical_max ~n_peers:n ~group_size:2))
+    [2; 3; 4; 5; 6; 8; 10; 12; 16]
+
+(* ------------------------------------------------------------------ *)
+(* Ablations (DESIGN.md A1-A3).                                        *)
+
+let run_ablations () =
+  section "Ablation A1 - supercharged convergence vs BFD interval";
+  let n_prefixes = if quick then 2_000 else 10_000 in
+  Experiments.Ablations.pp_points
+    ~header:(Fmt.str "(%d prefixes, detect mult 3)" n_prefixes)
+    Fmt.stdout
+    (Experiments.Ablations.bfd_sweep ~n_prefixes ());
+  section "Ablation A2 - supercharged convergence vs flow-mod latency";
+  Experiments.Ablations.pp_points
+    ~header:(Fmt.str "(%d prefixes, BFD 3 x 40ms)" n_prefixes)
+    Fmt.stdout
+    (Experiments.Ablations.flow_mod_sweep ~n_prefixes ());
+  section "Ablation A3 - controller replication (S3)";
+  Fmt.pr "%a@." Experiments.Ablations.pp_replica_report
+    (Experiments.Ablations.replicas ~n_prefixes:(if quick then 1_000 else 5_000) ());
+  section "Ablation A4 - backup-groups of any size (double failure)";
+  Fmt.pr "%a@." Experiments.Ablations.pp_double_failure
+    (Experiments.Ablations.double_failure
+       ~n_prefixes:(if quick then 500 else 2_000) ())
+
+(* ------------------------------------------------------------------ *)
+(* Extension tables: the other "supercharging aspects" of S1.          *)
+
+let run_extensions () =
+  section "Extension E1 - FIB compression through the switch (S1, ViAggre-style)";
+  Fmt.pr "%-10s %16s %14s %12s@." "prefixes" "router entries" "switch rules"
+    "compression";
+  let sizes = if quick then [1_000; 10_000] else [1_000; 10_000; 50_000; 200_000; 500_000] in
+  List.iter
+    (fun count ->
+      let table = Openflow.Flow_table.create () in
+      let cache =
+        Supercharger.Fib_cache.create
+          ~allocator:(Supercharger.Vnh.create ())
+          ~send:(function
+            | Openflow.Message.Flow_mod fm -> Openflow.Flow_table.apply table fm
+            | _ -> ())
+          ()
+      in
+      Supercharger.Fib_cache.declare_peer cache
+        { Supercharger.Provisioner.pi_ip = Net.Ipv4.of_octets 10 0 0 2;
+          pi_mac = Net.Mac.of_int64 0xBB02L; pi_port = 2 };
+      let entries = Workloads.Rib_gen.generate ~seed:9L ~count in
+      Array.iter
+        (fun (e : Workloads.Rib_gen.entry) ->
+          ignore
+            (Supercharger.Fib_cache.route cache e.prefix
+               (Some (Net.Ipv4.of_octets 10 0 0 2))))
+        entries;
+      Fmt.pr "%-10d %16d %14d %11.0fx@." count
+        (Supercharger.Fib_cache.aggregates cache)
+        (Supercharger.Fib_cache.specifics cache)
+        (Supercharger.Fib_cache.compression_factor cache))
+    sizes;
+  section "Extension E2 - load balancing: router hash vs supercharged (S1)";
+  let n_targets = 4 and n_flows = if quick then 2_000 else 20_000 in
+  let rng = Sim.Rng.create ~seed:3L in
+  let flows =
+    Array.init n_flows (fun i ->
+        let low = [|1; 16; 17; 32|].(Sim.Rng.int rng 4) in
+        {
+          Supercharger.Load_balancer.fk_src = Net.Ipv4.of_octets 192 168 0 100;
+          fk_dst = Net.Ipv4.of_octets 1 (Sim.Rng.int rng 200) (Sim.Rng.int rng 250) low;
+          fk_src_port = 1024 + (i mod 50_000);
+          fk_dst_port = 443;
+        })
+  in
+  let hash_loads = Array.make n_targets 0 in
+  Array.iter
+    (fun key ->
+      let b = Supercharger.Load_balancer.static_hash ~n_targets key in
+      hash_loads.(b) <- hash_loads.(b) + 1)
+    flows;
+  let lb =
+    Supercharger.Load_balancer.create
+      ~allocator:(Supercharger.Vnh.create ()) ~send:(fun _ -> ()) ()
+  in
+  for t = 0 to n_targets - 1 do
+    Supercharger.Load_balancer.add_target lb
+      { Supercharger.Provisioner.pi_ip = Net.Ipv4.of_octets 10 0 0 (2 + t);
+        pi_mac = Net.Mac.of_int64 (Int64.of_int (0xBB00 + t)); pi_port = 2 + t }
+  done;
+  Array.iter (fun key -> ignore (Supercharger.Load_balancer.assign lb key)) flows;
+  let mean = float_of_int n_flows /. float_of_int n_targets in
+  Fmt.pr "%d skewed flows over %d next hops:@." n_flows n_targets;
+  Fmt.pr "  router hash imbalance (max/mean): %.2f@."
+    (float_of_int (Array.fold_left max 0 hash_loads) /. mean);
+  Fmt.pr "  supercharged imbalance:           %.2f@."
+    (Supercharger.Load_balancer.imbalance lb)
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel per-operation micro-benchmarks.                            *)
+
+let ops_tests () =
+  let open Bechamel in
+  (* Listing 1 per-update cost on a warm table: alternate a prefix's
+     best route so every call exercises a real change. *)
+  let listing1 =
+    let rib = Bgp.Rib.create () in
+    let groups = Supercharger.Backup_group.create (Supercharger.Vnh.create ()) in
+    let algo = Supercharger.Algorithm.create groups in
+    let entries = Workloads.Rib_gen.generate ~seed:1L ~count:50_000 in
+    let nh2 = Net.Ipv4.of_octets 10 0 0 2 and nh3 = Net.Ipv4.of_octets 10 0 0 3 in
+    Array.iter
+      (fun (e : Workloads.Rib_gen.entry) ->
+        List.iter
+          (fun (peer_id, nh, lp) ->
+            let attrs =
+              Bgp.Attributes.make
+                ~as_path:[Bgp.Attributes.Seq [Bgp.Asn.of_int 65002]]
+                ~local_pref:lp ~next_hop:nh ()
+            in
+            let change =
+              Bgp.Rib.announce rib e.prefix
+                (Bgp.Route.make ~peer_id ~peer_router_id:nh attrs)
+            in
+            ignore (Supercharger.Algorithm.process_changes algo [change]))
+          [(0, nh2, 200); (1, nh3, 100)])
+      entries;
+    let flip = ref false in
+    let target = entries.(0).Workloads.Rib_gen.prefix in
+    Test.make ~name:"listing1/process_update"
+      (Staged.stage (fun () ->
+           flip := not !flip;
+           let lp = if !flip then 300 else 200 in
+           let attrs =
+             Bgp.Attributes.make
+               ~as_path:[Bgp.Attributes.Seq [Bgp.Asn.of_int 65002]]
+               ~local_pref:lp ~next_hop:nh2 ()
+           in
+           let change =
+             Bgp.Rib.announce rib target
+               (Bgp.Route.make ~peer_id:0 ~peer_router_id:nh2 attrs)
+           in
+           ignore (Supercharger.Algorithm.process_changes algo [change])))
+  in
+  let lpm_lookup =
+    let table = Net.Lpm.create () in
+    let entries = Workloads.Rib_gen.generate ~seed:2L ~count:100_000 in
+    Array.iter (fun (e : Workloads.Rib_gen.entry) -> Net.Lpm.insert table e.prefix ()) entries;
+    let addrs =
+      Array.map (fun (e : Workloads.Rib_gen.entry) -> Net.Prefix.network e.prefix) entries
+    in
+    let i = ref 0 in
+    Test.make ~name:"lpm/lookup_100k"
+      (Staged.stage (fun () ->
+           i := (!i + 7919) land 0xFFFF;
+           ignore (Net.Lpm.lookup table addrs.(!i mod Array.length addrs))))
+  in
+  let decision_rank =
+    let routes =
+      List.init 5 (fun i ->
+          Bgp.Route.make ~peer_id:i
+            ~peer_router_id:(Net.Ipv4.of_octets 10 0 0 (2 + i))
+            (Bgp.Attributes.make
+               ~as_path:[Bgp.Attributes.Seq [Bgp.Asn.of_int (65000 + i)]]
+               ~local_pref:(100 + (i mod 3))
+               ~next_hop:(Net.Ipv4.of_octets 10 0 0 (2 + i))
+               ()))
+    in
+    Test.make ~name:"decision/rank_5_routes"
+      (Staged.stage (fun () -> ignore (Bgp.Decision.rank routes)))
+  in
+  let bgp_codec =
+    let update =
+      Bgp.Message.announce
+        (Bgp.Attributes.make
+           ~as_path:[Bgp.Attributes.Seq [Bgp.Asn.of_int 65002; Bgp.Asn.of_int 3000]]
+           ~med:10 ~local_pref:200
+           ~next_hop:(Net.Ipv4.of_octets 10 0 0 2)
+           ())
+        [Net.Prefix.v "1.0.0.0/24"; Net.Prefix.v "2.0.0.0/16"]
+    in
+    Test.make ~name:"bgp_codec/encode_decode"
+      (Staged.stage (fun () ->
+           match Bgp.Codec.decode_exact (Bgp.Codec.encode update) with
+           | Ok _ -> ()
+           | Error _ -> assert false))
+  in
+  let wire_codec =
+    let frame =
+      Net.Ethernet.make
+        ~src:(Net.Mac.of_int64 1L)
+        ~dst:(Net.Mac.of_int64 2L)
+        (Net.Ethernet.Ipv4
+           (Net.Ipv4_packet.udp
+              ~src:(Net.Ipv4.of_octets 192 168 0 100)
+              ~dst:(Net.Ipv4.of_octets 1 0 0 1)
+              ~src_port:5001 ~dst_port:9000 (String.make 22 'x')))
+    in
+    Test.make ~name:"wire/frame_encode_decode"
+      (Staged.stage (fun () ->
+           match Net.Wire.decode_frame (Net.Wire.encode_frame frame) with
+           | Ok _ -> ()
+           | Error _ -> assert false))
+  in
+  let flow_lookup =
+    let table = Openflow.Flow_table.create () in
+    for i = 0 to 99 do
+      Openflow.Flow_table.apply table
+        (Openflow.Flow_table.flow_mod ~priority:(100 + i) Openflow.Flow_table.Add
+           (Openflow.Ofmatch.dl_dst (Net.Mac.of_int64 (Int64.of_int (0xFF0000 + i))))
+           [Openflow.Action.Output 1])
+    done;
+    let frame =
+      Net.Ethernet.make
+        ~src:(Net.Mac.of_int64 1L)
+        ~dst:(Net.Mac.of_int64 0xFF0000L) (* matches the lowest-priority rule *)
+        (Net.Ethernet.Ipv4
+           (Net.Ipv4_packet.udp
+              ~src:(Net.Ipv4.of_octets 10 0 0 1)
+              ~dst:(Net.Ipv4.of_octets 1 0 0 1)
+              ~src_port:1 ~dst_port:2 "x"))
+    in
+    let ctx = { Openflow.Ofmatch.arrival_port = 0; frame } in
+    Test.make ~name:"flow_table/lookup_100_rules"
+      (Staged.stage (fun () -> ignore (Openflow.Flow_table.lookup table ctx)))
+  in
+  Test.make_grouped ~name:"ops"
+    [listing1; lpm_lookup; decision_rank; bgp_codec; wire_codec; flow_lookup]
+
+let run_ops () =
+  section "Per-operation costs (Bechamel, OLS estimate per call)";
+  let open Bechamel in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:None () in
+  let raw = Benchmark.all cfg Toolkit.Instance.[monotonic_clock] (ops_tests ()) in
+  let ols =
+    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  let rows =
+    Hashtbl.fold
+      (fun name ols_result acc ->
+        let ns =
+          match Analyze.OLS.estimates ols_result with
+          | Some (x :: _) -> x
+          | Some [] | None -> nan
+        in
+        (name, ns) :: acc)
+      results []
+  in
+  Fmt.pr "%-32s %14s@." "operation" "time/call";
+  List.iter
+    (fun (name, ns) ->
+      let pretty =
+        if Float.is_nan ns then "n/a"
+        else if ns < 1_000.0 then Fmt.str "%.0f ns" ns
+        else if ns < 1_000_000.0 then Fmt.str "%.2f us" (ns /. 1e3)
+        else Fmt.str "%.2f ms" (ns /. 1e6)
+      in
+      Fmt.pr "%-32s %14s@." name pretty)
+    (List.sort compare rows)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let named =
+    List.filter
+      (fun a -> not (String.length a > 1 && a.[0] = '-'))
+      (List.tl (Array.to_list Sys.argv))
+  in
+  let want name = named = [] || List.mem "all" named || List.mem name named in
+  Fmt.pr "Supercharged router - benchmark harness (see DESIGN.md S4 index)@.";
+  if want "fig5" then run_fig5 ();
+  if want "micro" then run_micro ();
+  if want "groups" then run_groups ();
+  if want "ablations" then run_ablations ();
+  if want "extensions" then run_extensions ();
+  if want "ops" then run_ops ();
+  Fmt.pr "@.done.@."

@@ -1,0 +1,204 @@
+(* sc_lab: command-line front end to the convergence lab.
+
+   Runs a single Fig. 4 experiment with every knob exposed, prints the
+   paper-style summary and (optionally) the simulation event trace.
+
+     dune exec bin/sc_lab.exe -- run --prefixes 10000 --mode supercharged
+     dune exec bin/sc_lab.exe -- run --mode plain --trace --flows 10
+     dune exec bin/sc_lab.exe -- micro --count 100000
+     dune exec bin/sc_lab.exe -- fig5 --sizes 1000,10000 --reps 2 *)
+
+open Cmdliner
+
+let mode_conv =
+  let parse = function
+    | "plain" | "non-supercharged" -> Ok Experiments.Topology.Plain
+    | "supercharged" | "super" -> Ok (Experiments.Topology.Supercharged { replicas = 1 })
+    | "supercharged2" | "dual" -> Ok (Experiments.Topology.Supercharged { replicas = 2 })
+    | s -> Error (`Msg (Fmt.str "unknown mode %S (plain|supercharged|dual)" s))
+  in
+  let print ppf m = Experiments.Topology.pp_mode ppf m in
+  Arg.conv (parse, print)
+
+let prefixes_arg =
+  Arg.(value & opt int 10_000 & info ["prefixes"; "n"] ~docv:"N" ~doc:"Table size.")
+
+let mode_arg =
+  Arg.(
+    value
+    & opt mode_conv (Experiments.Topology.Supercharged { replicas = 1 })
+    & info ["mode"] ~docv:"MODE" ~doc:"plain, supercharged or dual.")
+
+let flows_arg =
+  Arg.(value & opt int 100 & info ["flows"] ~docv:"N" ~doc:"Monitored flows.")
+
+let seed_arg =
+  Arg.(value & opt int64 42L & info ["seed"] ~docv:"SEED" ~doc:"Simulation seed.")
+
+let trace_arg =
+  Arg.(value & flag & info ["trace"] ~doc:"Print the event trace around the failure.")
+
+let dense_arg =
+  Arg.(
+    value & flag
+    & info ["dense"]
+        ~doc:"Simulate every packet instead of event-driven probing (small runs only).")
+
+let bfd_tx_arg =
+  Arg.(value & opt int 40 & info ["bfd-tx"] ~docv:"MS" ~doc:"BFD transmit interval (ms).")
+
+let flowmod_arg =
+  Arg.(
+    value & opt float 2.0
+    & info ["flow-mod-latency"] ~docv:"MS" ~doc:"Switch rule installation latency (ms).")
+
+let peers_arg =
+  Arg.(value & opt int 2 & info ["peers"] ~docv:"N" ~doc:"Number of provider peers (2-8).")
+
+let group_size_arg =
+  Arg.(value & opt int 2 & info ["group-size"] ~docv:"K" ~doc:"Backup-group tuple size.")
+
+let failure_conv =
+  let parse = function
+    | "primary" -> Ok Experiments.Topology.Fail_primary
+    | "backup" -> Ok Experiments.Topology.Fail_backup
+    | s -> (
+      match String.index_opt s ':' with
+      | Some i when String.sub s 0 i = "two" -> (
+        match int_of_string_opt (String.sub s (i + 1) (String.length s - i - 1)) with
+        | Some ms -> Ok (Experiments.Topology.Fail_two (Sim.Time.of_ms ms))
+        | None -> Error (`Msg "two:<delay-ms> expected"))
+      | _ -> Error (`Msg (Fmt.str "unknown failure %S (primary|backup|two:MS)" s)))
+  in
+  Arg.conv (parse, Experiments.Topology.pp_failure)
+
+let failure_arg =
+  Arg.(
+    value
+    & opt failure_conv Experiments.Topology.Fail_primary
+    & info ["failure"] ~docv:"SCENARIO"
+        ~doc:"primary (default), backup, or two:MS (primary then the serving peer MS later).")
+
+let wire_arg =
+  Arg.(
+    value & flag
+    & info ["bgp-wire"]
+        ~doc:"Run every BGP session through the RFC 4271 codec with TCP-like fragmentation.")
+
+let pcap_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info ["pcap"] ~docv:"FILE" ~doc:"Capture R1's uplink to a pcap file.")
+
+let run_cmd =
+  let run n_prefixes mode flows seed trace dense bfd_tx flowmod_ms n_peers group_size
+      failure pcap bgp_wire =
+    let params = Experiments.Topology.default_params ~mode ~n_prefixes () in
+    let params =
+      {
+        params with
+        Experiments.Topology.monitored_flows = flows;
+        seed;
+        trace;
+        traffic = (if dense then Experiments.Topology.Dense else Experiments.Topology.Event_driven);
+        bfd_tx_interval = Sim.Time.of_ms bfd_tx;
+        flow_mod_latency = Sim.Time.of_sec (flowmod_ms /. 1000.0);
+        n_peers;
+        group_size;
+        failure;
+        pcap;
+        bgp_wire;
+      }
+    in
+    let result = Experiments.Topology.run params in
+    Fmt.pr "%a@." Experiments.Topology.pp_result result;
+    Fmt.pr "events=%d probes=%d@." result.Experiments.Topology.events
+      result.Experiments.Topology.probes;
+    (match failure with
+    | Experiments.Topology.Fail_two _ ->
+      Array.iteri
+        (fun i gaps ->
+          Fmt.pr "flow#%d outages: %a@." i
+            Fmt.(list ~sep:comma Sim.Time.pp)
+            gaps)
+        result.Experiments.Topology.outages
+    | Experiments.Topology.Fail_primary | Experiments.Topology.Fail_backup -> ());
+    (match pcap with
+    | Some path -> Fmt.pr "pcap written to %s@." path
+    | None -> ());
+    if trace then begin
+      Fmt.pr "@.trace around the failure (t_fail=%a):@." Sim.Time.pp
+        result.Experiments.Topology.t_fail;
+      List.iter
+        (fun (e : Sim.Trace.entry) ->
+          let dt = Sim.Time.sub e.time result.Experiments.Topology.t_fail in
+          if
+            Sim.Time.(dt >= Sim.Time.of_ms (-5))
+            && Sim.Time.(dt <= Sim.Time.of_sec 2.0)
+            && e.category <> "probe" && e.category <> "sink" && e.category <> "fib"
+          then Fmt.pr "  %+10.3fms %-10s %s@." (Sim.Time.to_ms dt) e.category e.message)
+        result.Experiments.Topology.trace_entries
+    end
+  in
+  Cmd.v (Cmd.info "run" ~doc:"Run one convergence experiment (Fig. 4 lab).")
+    Term.(
+      const run $ prefixes_arg $ mode_arg $ flows_arg $ seed_arg $ trace_arg
+      $ dense_arg $ bfd_tx_arg $ flowmod_arg $ peers_arg $ group_size_arg
+      $ failure_arg $ pcap_arg $ wire_arg)
+
+let micro_cmd =
+  let count_arg =
+    Arg.(value & opt int 500_000 & info ["count"] ~docv:"N" ~doc:"Prefixes per peer.")
+  in
+  let run count =
+    Fmt.pr "%a@." Experiments.Micro.pp_report (Experiments.Micro.run ~count ())
+  in
+  Cmd.v
+    (Cmd.info "micro" ~doc:"Controller per-update processing latency (S4).")
+    Term.(const run $ count_arg)
+
+let fig5_cmd =
+  let sizes_arg =
+    Arg.(
+      value
+      & opt (list int) Experiments.Fig5.paper_sizes
+      & info ["sizes"] ~docv:"N,N,..." ~doc:"Prefix counts to sweep.")
+  in
+  let reps_arg =
+    Arg.(value & opt int 1 & info ["reps"] ~docv:"N" ~doc:"Repetitions per point.")
+  in
+  let csv_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info ["csv"] ~docv:"FILE" ~doc:"Also write the rows as CSV.")
+  in
+  let run sizes repetitions flows csv =
+    let rows =
+      Experiments.Fig5.run ~sizes ~repetitions ~monitored_flows:flows
+        ~progress:(fun m -> Fmt.epr "%s@." m)
+        ()
+    in
+    Experiments.Fig5.pp_table Fmt.stdout rows;
+    Fmt.pr "@.";
+    Experiments.Fig5.pp_ascii_figure Fmt.stdout rows;
+    match csv with
+    | Some path ->
+      let oc = open_out path in
+      output_string oc (Experiments.Fig5.to_csv rows);
+      close_out oc;
+      Fmt.pr "@.csv written to %s@." path
+    | None -> ()
+  in
+  Cmd.v (Cmd.info "fig5" ~doc:"Reproduce Fig. 5 (convergence vs table size).")
+    Term.(const run $ sizes_arg $ reps_arg $ flows_arg $ csv_arg)
+
+let () =
+  let default = Term.(ret (const (`Help (`Pager, None)))) in
+  exit
+    (Cmd.eval
+       (Cmd.group ~default
+          (Cmd.info "sc_lab" ~version:"1.0.0"
+             ~doc:"Supercharged-router convergence laboratory.")
+          [run_cmd; micro_cmd; fig5_cmd]))

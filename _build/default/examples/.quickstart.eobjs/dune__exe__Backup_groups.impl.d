@@ -1,0 +1,1 @@
+examples/backup_groups.ml: Array Bgp Fmt List Net Sim Supercharger Workloads

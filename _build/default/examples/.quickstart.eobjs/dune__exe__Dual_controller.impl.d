@@ -1,0 +1,1 @@
+examples/dual_controller.ml: Bgp Fmt List Net Openflow Router Sim String Supercharger Workloads

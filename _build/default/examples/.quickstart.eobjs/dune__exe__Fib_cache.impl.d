@@ -1,0 +1,1 @@
+examples/fib_cache.ml: Array Fmt List Net Openflow Option Sim Supercharger Workloads

@@ -1,0 +1,1 @@
+examples/igp_costs.ml: Bgp Fmt Igp List Net Option Sim

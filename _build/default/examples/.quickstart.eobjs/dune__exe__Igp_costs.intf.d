@@ -1,0 +1,1 @@
+examples/igp_costs.mli:

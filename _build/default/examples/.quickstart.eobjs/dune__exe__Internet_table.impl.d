@@ -1,0 +1,1 @@
+examples/internet_table.ml: Array Experiments Fmt Sys Unix

@@ -1,0 +1,1 @@
+examples/internet_table.mli:

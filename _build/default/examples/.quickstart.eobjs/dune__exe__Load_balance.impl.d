@@ -1,0 +1,1 @@
+examples/load_balance.ml: Array Fmt Net Sim Supercharger

@@ -1,0 +1,63 @@
+(* Intra-domain substrate (§2 of the paper: "other intra-domain routing
+   protocols such as OSPF or IS-IS can also be used").
+
+   A small link-state network computes shortest paths by flooding + SPF;
+   the IGP distance to each BGP next hop feeds step 6 of the decision
+   process, so the backup-group order — and therefore which peer the
+   supercharger protects with which — follows IGP reachability. When a
+   core link fails, the IGP reconverges and the same prefix's backup
+   group flips.
+
+   Topology:            r1 ----1---- r2      (r2 and r4 are the BGP
+                         \            |       next hops; all BGP
+                          \--5-- r3 --1-- r4  attributes are equal)
+
+   Run with: dune exec examples/igp_costs.exe *)
+
+let ip = Net.Ipv4.of_string_exn
+
+let () =
+  let engine = Sim.Engine.create () in
+  let node i = Igp.Node.create engine ~router_id:(ip (Fmt.str "10.0.0.%d" i)) () in
+  let r1 = node 1 and r2 = node 2 and r3 = node 3 and r4 = node 4 in
+  Igp.Node.connect ~a:r1 ~b:r2 ~cost:1;
+  Igp.Node.connect ~a:r1 ~b:r3 ~cost:5;
+  Igp.Node.connect ~a:r2 ~b:r4 ~cost:1;
+  Igp.Node.connect ~a:r3 ~b:r4 ~cost:1;
+  Sim.Engine.run ~until:(Sim.Time.of_sec 1.0) engine;
+
+  let decide () =
+    (* Two BGP routes for the same prefix with identical attributes,
+       learned from next hops r2 and r4; only the IGP cost differs. *)
+    let route peer_id nh =
+      Bgp.Route.make ~peer_id ~peer_router_id:nh
+        ~igp_cost:(Option.value (Igp.Node.distance_to r1 nh) ~default:max_int)
+        (Bgp.Attributes.make
+           ~as_path:[Bgp.Attributes.Seq [Bgp.Asn.of_int 65002]]
+           ~next_hop:nh ())
+    in
+    let ranked = Bgp.Decision.rank [route 0 (ip "10.0.0.2"); route 1 (ip "10.0.0.4")] in
+    List.map
+      (fun (r : Bgp.Route.t) ->
+        Fmt.str "%a (igp cost %d)" Net.Ipv4.pp (Bgp.Route.next_hop r) r.igp_cost)
+      ranked
+  in
+  let show label =
+    Fmt.pr "%s@." label;
+    Fmt.pr "  r1's IGP distances: %a@."
+      Fmt.(list ~sep:comma (fun ppf (n, d) -> Fmt.pf ppf "%a=%d" Net.Ipv4.pp n d))
+      (Igp.Node.distances r1);
+    match decide () with
+    | [primary; backup] ->
+      Fmt.pr "  decision ranking:   primary %s, backup %s@.@." primary backup
+    | _ -> assert false
+  in
+  show "Initial topology (r2 one hop away, r4 two hops):";
+
+  Fmt.pr "Cutting the r1-r2 link; the IGP refloods and reconverges...@.@.";
+  Igp.Node.disconnect ~a:r1 ~b:r2;
+  Sim.Engine.run ~until:(Sim.Time.add (Sim.Engine.now engine) (Sim.Time.of_sec 2.0)) engine;
+  show "After the failure (everything now behind the cost-5 link):";
+  Fmt.pr
+    "A supercharged controller plugged into this IGP would re-key the@.\
+     backup-group (primary, backup) exactly as the ranking above flips.@."

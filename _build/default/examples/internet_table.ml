@@ -1,0 +1,43 @@
+(* The paper's motivating scenario (Fig. 1 / Fig. 2): an edge router
+   holding a full Internet table from two providers, preferring the
+   cheaper one. When the preferred provider dies, a flat-FIB router
+   rewrites every entry one by one; the supercharged router rewrites a
+   single switch rule.
+
+   This example loads a synthetic full-table feed (size configurable,
+   default 100k — pass e.g. 512000 for the paper's scale) and reports
+   the convergence distribution in both modes, plus data-plane detail:
+   how many FIB writes each mode needed and how many switch rules the
+   supercharger touched.
+
+   Run with: dune exec examples/internet_table.exe [-- N_PREFIXES] *)
+
+let () =
+  let n =
+    if Array.length Sys.argv > 1 then int_of_string Sys.argv.(1) else 100_000
+  in
+  Fmt.pr "Loading a %d-prefix Internet table from two providers...@.@." n;
+  let run mode =
+    let t0 = Unix.gettimeofday () in
+    let result = Experiments.Topology.run (Experiments.Topology.default_params ~mode ~n_prefixes:n ()) in
+    let wall = Unix.gettimeofday () -. t0 in
+    let samples = Experiments.Topology.convergence_seconds result in
+    let s = Experiments.Stats.summarize samples in
+    Fmt.pr "%a:@." Experiments.Topology.pp_mode mode;
+    Fmt.pr "  convergence  median %.3fs  p95 %.3fs  max %.3fs@."
+      s.Experiments.Stats.median s.Experiments.Stats.p95 s.Experiments.Stats.max;
+    Fmt.pr "  FIB writes over the run: %d@." result.Experiments.Topology.fib_writes;
+    (match mode with
+    | Experiments.Topology.Supercharged _ ->
+      Fmt.pr "  backup-groups: %d, switch rules touched: %d@."
+        result.Experiments.Topology.backup_groups
+        result.Experiments.Topology.flow_mods_at_failover
+    | Experiments.Topology.Plain -> ());
+    Fmt.pr "  (simulated %d events in %.1fs wall clock)@.@."
+      result.Experiments.Topology.events wall;
+    s.Experiments.Stats.max
+  in
+  let plain_max = run Experiments.Topology.Plain in
+  let super_max = run (Experiments.Topology.Supercharged { replicas = 1 }) in
+  Fmt.pr "Improvement factor at %d prefixes: %.0fx@." n (plain_max /. super_max);
+  Fmt.pr "(paper, 512k prefixes on a Nexus 7k: ~2.5min -> ~150ms, 900x)@."

@@ -1,0 +1,1 @@
+lib/bfd/packet.ml: Fmt Int32 Net String

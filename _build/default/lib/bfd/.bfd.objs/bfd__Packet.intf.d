@@ -1,0 +1,1 @@
+lib/bfd/packet.mli: Format Net

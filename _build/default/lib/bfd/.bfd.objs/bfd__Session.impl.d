@@ -1,0 +1,1 @@
+lib/bfd/session.ml: Int64 Option Packet Sim Stdlib

@@ -1,0 +1,1 @@
+lib/bfd/session.mli: Packet Sim

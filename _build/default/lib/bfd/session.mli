@@ -1,0 +1,47 @@
+(** BFD session (RFC 5880, asynchronous mode).
+
+    Failure detection is what bounds the supercharged router's
+    convergence time: with transmit interval [tx] and detection
+    multiplier [m], a dead peer is declared down at most [m × tx] after
+    its last control packet. The session is transport-agnostic — the
+    owner supplies a [send] function and feeds received packets in via
+    {!receive}, so the same code runs over the simulated data plane (UDP
+    port 3784) or point-to-point. *)
+
+type t
+
+val create :
+  Sim.Engine.t ->
+  ?name:string ->
+  local_discriminator:int32 ->
+  ?detect_mult:int ->
+  ?tx_interval:Sim.Time.t ->
+  ?rx_interval:Sim.Time.t ->
+  send:(Packet.t -> unit) ->
+  unit ->
+  t
+(** Defaults per the paper's calibration: [detect_mult] 3,
+    [tx_interval] 40 ms, [rx_interval] = [tx_interval]. The session
+    starts in [Down] and begins transmitting when {!enable}d. *)
+
+val enable : t -> unit
+val disable : t -> unit
+(** Moves to [Admin_down] and announces it to the peer. *)
+
+val receive : t -> Packet.t -> unit
+(** Feed a control packet from the peer into the state machine. *)
+
+val state : t -> Packet.state
+val name : t -> string
+
+val detection_time : t -> Sim.Time.t
+(** Current detection time: remote detect-mult × the negotiated receive
+    interval (the configured bound before negotiation completes). *)
+
+val on_state_change : t -> (Packet.state -> Packet.diagnostic -> unit) -> unit
+(** Single callback; fires on every transition, in particular
+    [Up -> Down] with [Control_detection_time_expired] when the peer
+    goes silent. *)
+
+val packets_sent : t -> int
+val packets_received : t -> int

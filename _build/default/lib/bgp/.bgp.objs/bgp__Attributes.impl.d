@@ -1,0 +1,1 @@
+lib/bgp/attributes.ml: Asn Fmt Int List Net Option

@@ -1,0 +1,1 @@
+lib/bgp/attributes.mli: Asn Format Net

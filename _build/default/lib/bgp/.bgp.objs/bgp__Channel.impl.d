@@ -1,0 +1,1 @@
+lib/bgp/channel.ml: Codec Fmt List Message Net Sim Stream String

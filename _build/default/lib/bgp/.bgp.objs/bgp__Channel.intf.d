@@ -1,0 +1,1 @@
+lib/bgp/channel.mli: Message Sim

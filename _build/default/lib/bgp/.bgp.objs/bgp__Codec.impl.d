@@ -1,0 +1,1 @@
+lib/bgp/codec.ml: Asn Attributes Char Int32 Ipv4 List Message Net Option Prefix String Wire

@@ -1,0 +1,1 @@
+lib/bgp/decision.ml: Asn Attributes Bool Int List Net Route

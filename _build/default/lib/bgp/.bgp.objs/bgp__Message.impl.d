@@ -1,0 +1,1 @@
+lib/bgp/message.ml: Asn Attributes Fmt List Net Option String

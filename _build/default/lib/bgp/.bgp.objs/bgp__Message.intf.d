@@ -1,0 +1,1 @@
+lib/bgp/message.mli: Asn Attributes Format Net

@@ -1,0 +1,1 @@
+lib/bgp/rib.ml: Decision Hashtbl List Message Net Route

@@ -1,0 +1,1 @@
+lib/bgp/session.ml: Asn Channel Fmt Message Net Sim

@@ -1,0 +1,1 @@
+lib/bgp/session.mli: Asn Channel Format Message Net Sim

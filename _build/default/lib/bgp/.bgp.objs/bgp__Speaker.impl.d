@@ -1,0 +1,1 @@
+lib/bgp/speaker.ml: Asn Fmt List Message Net Session Sim

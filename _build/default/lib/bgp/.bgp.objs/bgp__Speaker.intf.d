@@ -1,0 +1,1 @@
+lib/bgp/speaker.mli: Asn Channel Message Net Session Sim

@@ -1,0 +1,1 @@
+lib/bgp/stream.ml: Char Codec List Net String

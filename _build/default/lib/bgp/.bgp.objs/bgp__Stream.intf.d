@@ -1,0 +1,1 @@
+lib/bgp/stream.mli: Message Net

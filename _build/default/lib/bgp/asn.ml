@@ -1,0 +1,12 @@
+type t = int
+
+let of_int n =
+  if n < 0 || n > 0xFFFF then invalid_arg "Asn.of_int: out of 2-byte range";
+  n
+
+let to_int n = n
+
+let compare = Int.compare
+let equal = Int.equal
+let hash n = n
+let pp ppf n = Fmt.pf ppf "AS%d" n

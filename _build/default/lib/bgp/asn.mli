@@ -1,0 +1,13 @@
+(** Autonomous-system numbers (2-byte range). *)
+
+type t
+
+val of_int : int -> t
+(** Requires [0 <= n <= 65535] — the codec speaks classic 2-byte ASNs. *)
+
+val to_int : t -> int
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val hash : t -> int
+val pp : Format.formatter -> t -> unit

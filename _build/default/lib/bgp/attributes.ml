@@ -1,0 +1,99 @@
+type origin = Igp | Egp | Incomplete
+
+let origin_preference = function Igp -> 0 | Egp -> 1 | Incomplete -> 2
+
+let pp_origin ppf o =
+  Fmt.string ppf (match o with Igp -> "IGP" | Egp -> "EGP" | Incomplete -> "INCOMPLETE")
+
+type as_path_segment =
+  | Seq of Asn.t list
+  | Set of Asn.t list
+
+type t = {
+  origin : origin;
+  as_path : as_path_segment list;
+  next_hop : Net.Ipv4.t;
+  med : int option;
+  local_pref : int option;
+  communities : (int * int) list;
+}
+
+let make ?(origin = Igp) ?(as_path = []) ?med ?local_pref ?(communities = [])
+    ~next_hop () =
+  { origin; as_path; next_hop; med; local_pref; communities }
+
+let with_next_hop t next_hop = { t with next_hop }
+
+let as_path_length t =
+  List.fold_left
+    (fun acc seg -> match seg with Seq asns -> acc + List.length asns | Set _ -> acc + 1)
+    0 t.as_path
+
+let first_as t =
+  let rec first = function
+    | [] -> None
+    | Seq (a :: _) :: _ -> Some a
+    | Seq [] :: rest -> first rest
+    | Set (a :: _) :: _ -> Some a
+    | Set [] :: rest -> first rest
+  in
+  first t.as_path
+
+let prepend_as asn t =
+  let as_path =
+    match t.as_path with
+    | Seq asns :: rest -> Seq (asn :: asns) :: rest
+    | other -> Seq [asn] :: other
+  in
+  { t with as_path }
+
+let effective_local_pref t =
+  match t.local_pref with Some lp -> lp | None -> 100
+
+let segment_compare a b =
+  match a, b with
+  | Seq x, Seq y | Set x, Set y -> List.compare Asn.compare x y
+  | Seq _, Set _ -> -1
+  | Set _, Seq _ -> 1
+
+let compare a b =
+  let c = Int.compare (origin_preference a.origin) (origin_preference b.origin) in
+  if c <> 0 then c
+  else
+    let c = List.compare segment_compare a.as_path b.as_path in
+    if c <> 0 then c
+    else
+      let c = Net.Ipv4.compare a.next_hop b.next_hop in
+      if c <> 0 then c
+      else
+        let c = Option.compare Int.compare a.med b.med in
+        if c <> 0 then c
+        else
+          let c = Option.compare Int.compare a.local_pref b.local_pref in
+          if c <> 0 then c
+          else
+            List.compare
+              (fun (x1, y1) (x2, y2) ->
+                let c = Int.compare x1 x2 in
+                if c <> 0 then c else Int.compare y1 y2)
+              a.communities b.communities
+
+let equal a b = compare a b = 0
+
+let pp_segment ppf = function
+  | Seq asns -> Fmt.(list ~sep:sp Asn.pp) ppf asns
+  | Set asns -> Fmt.pf ppf "{%a}" Fmt.(list ~sep:comma Asn.pp) asns
+
+let pp ppf t =
+  Fmt.pf ppf "@[origin=%a path=[%a] nh=%a" pp_origin t.origin
+    Fmt.(list ~sep:sp pp_segment)
+    t.as_path Net.Ipv4.pp t.next_hop;
+  (match t.med with Some m -> Fmt.pf ppf " med=%d" m | None -> ());
+  (match t.local_pref with Some lp -> Fmt.pf ppf " lp=%d" lp | None -> ());
+  (match t.communities with
+  | [] -> ()
+  | cs ->
+    Fmt.pf ppf " comm=%a"
+      Fmt.(list ~sep:comma (fun ppf (a, b) -> Fmt.pf ppf "%d:%d" a b))
+      cs);
+  Fmt.pf ppf "@]"

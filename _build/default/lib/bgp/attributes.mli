@@ -1,0 +1,59 @@
+(** BGP path attributes (RFC 4271 §5).
+
+    The supercharged controller's provisioning interface is exactly one
+    of these fields: it rewrites {!next_hop} to a virtual next-hop before
+    relaying an announcement to the router. *)
+
+type origin = Igp | Egp | Incomplete
+
+val origin_preference : origin -> int
+(** Decision-process ranking: IGP (0) < EGP (1) < INCOMPLETE (2);
+    lower is preferred. *)
+
+val pp_origin : Format.formatter -> origin -> unit
+
+type as_path_segment =
+  | Seq of Asn.t list  (** AS_SEQUENCE: ordered traversal *)
+  | Set of Asn.t list  (** AS_SET: unordered aggregate, counts as 1 hop *)
+
+type t = {
+  origin : origin;
+  as_path : as_path_segment list;
+  next_hop : Net.Ipv4.t;
+  med : int option;
+  local_pref : int option;
+  communities : (int * int) list;
+}
+
+val make :
+  ?origin:origin ->
+  ?as_path:as_path_segment list ->
+  ?med:int ->
+  ?local_pref:int ->
+  ?communities:(int * int) list ->
+  next_hop:Net.Ipv4.t ->
+  unit ->
+  t
+(** Defaults: origin [Igp], empty AS path, no MED/LOCAL_PREF/communities. *)
+
+val with_next_hop : t -> Net.Ipv4.t -> t
+(** The controller's rewrite primitive. *)
+
+val as_path_length : t -> int
+(** Decision-process length: each [Seq] AS counts 1, each [Set] counts 1
+    in total. *)
+
+val first_as : t -> Asn.t option
+(** Leftmost AS of the path (the neighbouring AS), used for
+    MED comparability. *)
+
+val prepend_as : Asn.t -> t -> t
+(** Adds one AS at the front of the path, as a speaker does when
+    propagating over eBGP. *)
+
+val effective_local_pref : t -> int
+(** [local_pref] or the conventional default 100. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit

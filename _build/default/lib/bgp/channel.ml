@@ -1,0 +1,133 @@
+type side = A | B
+
+let flip = function A -> B | B -> A
+
+type t = {
+  engine : Sim.Engine.t;
+  name : string;
+  delay : Sim.Time.t;
+  use_codec : bool;
+  fragment : int option;
+  reassembly_a : Stream.t;
+  reassembly_b : Stream.t;
+  mutable recv_a : (Message.t -> unit) option;
+  mutable recv_b : (Message.t -> unit) option;
+  mutable break_a : (unit -> unit) option;
+  mutable break_b : (unit -> unit) option;
+  mutable broken : bool;
+  mutable epoch : int;
+  mutable delivered : int;
+}
+
+let create engine ?(name = "chan") ?(delay = Sim.Time.of_us 200)
+    ?(use_codec = false) ?fragment () =
+  (match fragment with
+  | Some n when n <= 0 -> invalid_arg "Channel.create: fragment must be positive"
+  | Some _ when not use_codec ->
+    invalid_arg "Channel.create: fragment requires use_codec"
+  | Some _ | None -> ());
+  {
+    engine;
+    name;
+    delay;
+    use_codec;
+    fragment;
+    reassembly_a = Stream.create ();
+    reassembly_b = Stream.create ();
+    recv_a = None;
+    recv_b = None;
+    break_a = None;
+    break_b = None;
+    broken = false;
+    epoch = 0;
+    delivered = 0;
+  }
+
+let name t = t.name
+
+let attach t side f =
+  match side with A -> t.recv_a <- Some f | B -> t.recv_b <- Some f
+
+let on_break t side f =
+  match side with A -> t.break_a <- Some f | B -> t.break_b <- Some f
+
+let receiver t side = match side with A -> t.recv_a | B -> t.recv_b
+
+let through_codec t msg =
+  if not t.use_codec then msg
+  else
+    match Codec.decode_exact (Codec.encode msg) with
+    | Ok decoded -> decoded
+    | Error err ->
+      invalid_arg
+        (Fmt.str "Channel %s: message failed codec round-trip: %a" t.name
+           Net.Wire.pp_error err)
+
+let reassembler t side = match side with A -> t.reassembly_a | B -> t.reassembly_b
+
+(* With [fragment] set, the encoded message is cut into TCP-segment-like
+   chunks delivered separately and reassembled by the receiving side's
+   {!Stream} — message boundaries no longer align with deliveries, as on
+   a real socket. *)
+let send_fragmented t from msg size =
+  let wire = Codec.encode msg in
+  let epoch_at_send = t.epoch in
+  let to_side = flip from in
+  let rec cut offset =
+    if offset < String.length wire then begin
+      let len = min size (String.length wire - offset) in
+      let chunk = String.sub wire offset len in
+      let deliver () =
+        if (not t.broken) && t.epoch = epoch_at_send then
+          match Stream.feed (reassembler t to_side) chunk with
+          | Ok msgs ->
+            List.iter
+              (fun m ->
+                match receiver t to_side with
+                | Some f ->
+                  t.delivered <- t.delivered + 1;
+                  f m
+                | None -> ())
+              msgs
+          | Error err ->
+            invalid_arg
+              (Fmt.str "Channel %s: stream reassembly failed: %a" t.name
+                 Net.Wire.pp_error err)
+      in
+      ignore (Sim.Engine.schedule_after t.engine t.delay deliver);
+      cut (offset + len)
+    end
+  in
+  cut 0
+
+let send t from msg =
+  if not t.broken then
+    match t.fragment with
+    | Some size -> send_fragmented t from msg size
+    | None ->
+      let msg = through_codec t msg in
+      let epoch_at_send = t.epoch in
+      let deliver () =
+        if (not t.broken) && t.epoch = epoch_at_send then
+          match receiver t (flip from) with
+          | Some f ->
+            t.delivered <- t.delivered + 1;
+            f msg
+          | None -> ()
+      in
+      ignore (Sim.Engine.schedule_after t.engine t.delay deliver)
+
+let break t =
+  if not t.broken then begin
+    t.broken <- true;
+    t.epoch <- t.epoch + 1;
+    Sim.Trace.emitf (Sim.Engine.trace t.engine) (Sim.Engine.now t.engine)
+      ~category:"channel" "%s: broken" t.name;
+    let fire cb = match cb with Some f -> ignore (Sim.Engine.schedule_after t.engine t.delay f) | None -> () in
+    fire t.break_a;
+    fire t.break_b
+  end
+
+let is_broken t = t.broken
+
+let messages_delivered t = t.delivered

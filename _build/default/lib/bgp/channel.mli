@@ -1,0 +1,49 @@
+(** Reliable, ordered control channel between two BGP speakers.
+
+    Stands in for the TCP connection of a real session: structured
+    messages are delivered after a configurable one-way delay, in order,
+    until the channel is broken. With [use_codec:true] every message is
+    round-tripped through the RFC 4271 binary codec in transit, so the
+    wire format is exercised end-to-end (the integration tests run this
+    way). *)
+
+type side = A | B
+
+val flip : side -> side
+
+type t
+
+val create :
+  Sim.Engine.t ->
+  ?name:string ->
+  ?delay:Sim.Time.t ->
+  ?use_codec:bool ->
+  ?fragment:int ->
+  unit ->
+  t
+(** Defaults: [delay] 200 µs (same-rack RTT/2), [use_codec] false.
+    [fragment] (requires [use_codec]) delivers the encoded bytes in
+    TCP-segment-like chunks of at most that many bytes, reassembled on
+    the receiving side with {!Stream} — message boundaries no longer
+    align with deliveries, exactly as on a real socket. *)
+
+val name : t -> string
+
+val attach : t -> side -> (Message.t -> unit) -> unit
+(** Receive callback for the speaker plugged into [side]. *)
+
+val on_break : t -> side -> (unit -> unit) -> unit
+(** Called (once) on each side when the channel breaks. *)
+
+val send : t -> side -> Message.t -> unit
+(** Sends towards the other side. No-op on a broken channel.
+    @raise Invalid_argument if [use_codec] is set and the message fails
+    to round-trip (a codec bug — surfaced loudly). *)
+
+val break : t -> unit
+(** Tears the channel down: in-flight messages are lost and both break
+    callbacks fire after the propagation delay. Idempotent. *)
+
+val is_broken : t -> bool
+
+val messages_delivered : t -> int

@@ -1,0 +1,25 @@
+(** RFC 4271 binary encoding of BGP messages.
+
+    Supports the attribute set the system uses (ORIGIN, AS_PATH,
+    NEXT_HOP, MED, LOCAL_PREF, COMMUNITIES) with classic 2-byte AS
+    numbers. Unknown optional attributes are skipped on decode; unknown
+    well-known attributes are an error. *)
+
+val encode : Message.t -> string
+(** One message, including the 19-byte header. *)
+
+val decode : string -> ((Message.t * int), Net.Wire.error) result
+(** Decodes the first message in the buffer; also returns the number of
+    bytes consumed, so a TCP-style byte stream can be cut into
+    messages. *)
+
+val decode_exact : string -> (Message.t, Net.Wire.error) result
+(** Like {!decode} but requires the buffer to hold exactly one
+    message. *)
+
+val decode_all : string -> (Message.t list, Net.Wire.error) result
+(** Decodes a concatenation of messages. *)
+
+val max_message_size : int
+(** 4096, per RFC 4271. [encode] raises [Invalid_argument] when a
+    message would exceed it (split large updates before encoding). *)

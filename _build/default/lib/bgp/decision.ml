@@ -1,0 +1,49 @@
+let med_value (r : Route.t) =
+  (* Cisco-style default: a missing MED compares as 0 (best). *)
+  match r.attrs.Attributes.med with Some m -> m | None -> 0
+
+let same_neighbor_as (a : Route.t) (b : Route.t) =
+  match Attributes.first_as a.attrs, Attributes.first_as b.attrs with
+  | Some x, Some y -> Asn.equal x y
+  | Some _, None | None, Some _ | None, None -> false
+
+let compare (a : Route.t) (b : Route.t) =
+  (* Each step returns <0 when [a] wins; fall through on ties. *)
+  let step1 =
+    Int.compare
+      (Attributes.effective_local_pref b.attrs)
+      (Attributes.effective_local_pref a.attrs)
+  in
+  if step1 <> 0 then step1
+  else
+    let step2 =
+      Int.compare (Attributes.as_path_length a.attrs) (Attributes.as_path_length b.attrs)
+    in
+    if step2 <> 0 then step2
+    else
+      let step3 =
+        Int.compare
+          (Attributes.origin_preference a.attrs.Attributes.origin)
+          (Attributes.origin_preference b.attrs.Attributes.origin)
+      in
+      if step3 <> 0 then step3
+      else
+        let step4 =
+          if same_neighbor_as a b then Int.compare (med_value a) (med_value b) else 0
+        in
+        if step4 <> 0 then step4
+        else
+          let step5 = Bool.compare b.ebgp a.ebgp (* eBGP preferred *) in
+          if step5 <> 0 then step5
+          else
+            let step6 = Int.compare a.igp_cost b.igp_cost in
+            if step6 <> 0 then step6
+            else
+              let step7 = Net.Ipv4.compare a.peer_router_id b.peer_router_id in
+              if step7 <> 0 then step7
+              else Int.compare a.peer_id b.peer_id
+
+let rank routes = List.stable_sort compare routes
+
+let best routes =
+  match rank routes with [] -> None | r :: _ -> Some r

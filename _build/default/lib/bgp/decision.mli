@@ -1,0 +1,22 @@
+(** The BGP decision process (RFC 4271 §9.1.2 tie-breaking).
+
+    The supercharger needs more than the single best route: the
+    backup-group of a prefix is the *first two elements* of the fully
+    ranked candidate list, so the process is exposed as a total
+    preference order. *)
+
+val compare : Route.t -> Route.t -> int
+(** [compare a b < 0] iff [a] is preferred over [b]. Steps, in order:
+    higher LOCAL_PREF; shorter AS path; lower origin (IGP < EGP <
+    INCOMPLETE); lower MED when both routes come from the same
+    neighbouring AS (missing MED = 0, per Cisco default); eBGP over
+    iBGP; lower IGP cost to the next hop; lower peer router-id; lower
+    peer id. The final steps make the order total, so ranking is
+    deterministic — the property controller replication (§3 of the
+    paper) rests on. *)
+
+val rank : Route.t list -> Route.t list
+(** Candidates sorted best-first. *)
+
+val best : Route.t list -> Route.t option
+(** The winner, [None] for an empty list. *)

@@ -1,0 +1,68 @@
+type open_msg = {
+  version : int;
+  asn : Asn.t;
+  hold_time : int;
+  router_id : Net.Ipv4.t;
+}
+
+type update = {
+  withdrawn : Net.Prefix.t list;
+  attrs : Attributes.t option;
+  nlri : Net.Prefix.t list;
+}
+
+type notification = {
+  code : int;
+  subcode : int;
+  data : string;
+}
+
+type t =
+  | Open of open_msg
+  | Update of update
+  | Keepalive
+  | Notification of notification
+
+let update ?(withdrawn = []) ?attrs ?(nlri = []) () =
+  (match attrs, nlri with
+  | None, _ :: _ -> invalid_arg "Message.update: NLRI without attributes"
+  | _ -> ());
+  if withdrawn = [] && nlri = [] then invalid_arg "Message.update: empty update";
+  Update { withdrawn; attrs; nlri }
+
+let announce attrs nlri = update ~attrs ~nlri ()
+let withdraw withdrawn = update ~withdrawn ()
+
+let cease = Notification { code = 6; subcode = 0; data = "" }
+let hold_timer_expired = Notification { code = 4; subcode = 0; data = "" }
+
+let equal a b =
+  match a, b with
+  | Open x, Open y ->
+    x.version = y.version && Asn.equal x.asn y.asn && x.hold_time = y.hold_time
+    && Net.Ipv4.equal x.router_id y.router_id
+  | Update x, Update y ->
+    List.equal Net.Prefix.equal x.withdrawn y.withdrawn
+    && Option.equal Attributes.equal x.attrs y.attrs
+    && List.equal Net.Prefix.equal x.nlri y.nlri
+  | Keepalive, Keepalive -> true
+  | Notification x, Notification y ->
+    x.code = y.code && x.subcode = y.subcode && String.equal x.data y.data
+  | (Open _ | Update _ | Keepalive | Notification _), _ -> false
+
+let pp ppf = function
+  | Open o ->
+    Fmt.pf ppf "OPEN v%d %a hold=%ds id=%a" o.version Asn.pp o.asn o.hold_time
+      Net.Ipv4.pp o.router_id
+  | Update u ->
+    Fmt.pf ppf "UPDATE withdraw=[%a]"
+      Fmt.(list ~sep:comma Net.Prefix.pp)
+      u.withdrawn;
+    (match u.attrs with
+    | Some attrs ->
+      Fmt.pf ppf " announce=[%a] %a"
+        Fmt.(list ~sep:comma Net.Prefix.pp)
+        u.nlri Attributes.pp attrs
+    | None -> ())
+  | Keepalive -> Fmt.string ppf "KEEPALIVE"
+  | Notification n -> Fmt.pf ppf "NOTIFICATION %d/%d" n.code n.subcode

@@ -1,0 +1,46 @@
+(** BGP messages (RFC 4271 §4). *)
+
+type open_msg = {
+  version : int;  (** always 4 *)
+  asn : Asn.t;
+  hold_time : int;  (** seconds; 0 disables keepalives *)
+  router_id : Net.Ipv4.t;
+}
+
+type update = {
+  withdrawn : Net.Prefix.t list;
+  attrs : Attributes.t option;
+      (** [None] when the update only withdraws routes. *)
+  nlri : Net.Prefix.t list;
+      (** Prefixes announced with [attrs]; requires [attrs <> None] when
+          non-empty. *)
+}
+
+type notification = {
+  code : int;
+  subcode : int;
+  data : string;
+}
+
+type t =
+  | Open of open_msg
+  | Update of update
+  | Keepalive
+  | Notification of notification
+
+val update : ?withdrawn:Net.Prefix.t list -> ?attrs:Attributes.t ->
+  ?nlri:Net.Prefix.t list -> unit -> t
+(** Checked constructor: rejects non-empty [nlri] without [attrs] and
+    fully empty updates. *)
+
+val announce : Attributes.t -> Net.Prefix.t list -> t
+val withdraw : Net.Prefix.t list -> t
+
+val cease : t
+(** The Cease notification (code 6). *)
+
+val hold_timer_expired : t
+(** Notification code 4. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,82 @@
+module Table = Hashtbl.Make (struct
+  type t = Net.Prefix.t
+
+  let equal = Net.Prefix.equal
+  let hash = Net.Prefix.hash
+end)
+
+type t = {
+  table : Route.t list Table.t; (* ranked, best first *)
+}
+
+let create () = { table = Table.create 4096 }
+
+type change = {
+  prefix : Net.Prefix.t;
+  before : Route.t list;
+  after : Route.t list;
+}
+
+let ordered t prefix =
+  match Table.find_opt t.table prefix with Some l -> l | None -> []
+
+let best t prefix =
+  match ordered t prefix with [] -> None | r :: _ -> Some r
+
+let rec insert_sorted route = function
+  | [] -> [route]
+  | r :: rest as l ->
+    if Decision.compare route r <= 0 then route :: l
+    else r :: insert_sorted route rest
+
+let store t prefix routes =
+  if routes = [] then Table.remove t.table prefix
+  else Table.replace t.table prefix routes
+
+let announce t prefix (route : Route.t) =
+  let before = ordered t prefix in
+  let without = List.filter (fun (r : Route.t) -> r.peer_id <> route.peer_id) before in
+  let after = insert_sorted route without in
+  store t prefix after;
+  { prefix; before; after }
+
+let withdraw t prefix ~peer_id =
+  let before = ordered t prefix in
+  if List.exists (fun (r : Route.t) -> r.peer_id = peer_id) before then begin
+    let after = List.filter (fun (r : Route.t) -> r.peer_id <> peer_id) before in
+    store t prefix after;
+    Some { prefix; before; after }
+  end
+  else None
+
+let withdraw_peer t ~peer_id =
+  let affected =
+    Table.fold
+      (fun prefix routes acc ->
+        if List.exists (fun (r : Route.t) -> r.peer_id = peer_id) routes then
+          prefix :: acc
+        else acc)
+      t.table []
+  in
+  List.filter_map (fun prefix -> withdraw t prefix ~peer_id) affected
+
+let apply_update t ~peer_id ~peer_router_id ?(ebgp = true) ?(igp_cost = 0)
+    (u : Message.update) =
+  let withdrawals =
+    List.filter_map (fun prefix -> withdraw t prefix ~peer_id) u.withdrawn
+  in
+  let announcements =
+    match u.attrs with
+    | None -> []
+    | Some attrs ->
+      let route = Route.make ~ebgp ~igp_cost ~peer_id ~peer_router_id attrs in
+      List.map (fun prefix -> announce t prefix route) u.nlri
+  in
+  withdrawals @ announcements
+
+let cardinal t = Table.length t.table
+
+let iter t f = Table.iter f t.table
+
+let fold t ~init ~f =
+  Table.fold (fun prefix routes acc -> f acc prefix routes) t.table init

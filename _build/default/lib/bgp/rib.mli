@@ -1,0 +1,47 @@
+(** Routing information base.
+
+    Stores, per prefix, every candidate learned from every peer, kept
+    ranked by {!Decision.compare} (best first). This is the
+    "routing_table" of the paper's Listing 1: the first two elements of
+    the ranked list form the prefix's backup-group. Each peer contributes
+    at most one route per prefix; a re-announcement implicitly replaces
+    the previous one. *)
+
+type t
+
+val create : unit -> t
+
+type change = {
+  prefix : Net.Prefix.t;
+  before : Route.t list;  (** ranked candidates before the event *)
+  after : Route.t list;  (** ranked candidates after the event *)
+}
+
+val announce : t -> Net.Prefix.t -> Route.t -> change
+(** Inserts/replaces the route from [route.peer_id] for the prefix. *)
+
+val withdraw : t -> Net.Prefix.t -> peer_id:int -> change option
+(** Removes the peer's route; [None] if it held none. *)
+
+val withdraw_peer : t -> peer_id:int -> change list
+(** Removes every route of a peer (session loss). Only prefixes whose
+    candidate list actually changed are reported. *)
+
+val apply_update : t -> peer_id:int -> peer_router_id:Net.Ipv4.t ->
+  ?ebgp:bool -> ?igp_cost:int -> Message.update -> change list
+(** Applies a BGP UPDATE from a peer: withdrawals first, then
+    announcements. Returns one change per affected prefix. *)
+
+val ordered : t -> Net.Prefix.t -> Route.t list
+(** Ranked candidates, best first; [] when the prefix is unknown. *)
+
+val best : t -> Net.Prefix.t -> Route.t option
+
+val cardinal : t -> int
+(** Number of prefixes with at least one candidate. *)
+
+val iter : t -> (Net.Prefix.t -> Route.t list -> unit) -> unit
+(** Visits every prefix with its ranked candidates (unspecified
+    order). *)
+
+val fold : t -> init:'b -> f:('b -> Net.Prefix.t -> Route.t list -> 'b) -> 'b

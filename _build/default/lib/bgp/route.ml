@@ -1,0 +1,23 @@
+type t = {
+  attrs : Attributes.t;
+  peer_id : int;
+  peer_router_id : Net.Ipv4.t;
+  ebgp : bool;
+  igp_cost : int;
+}
+
+let make ?(ebgp = true) ?(igp_cost = 0) ~peer_id ~peer_router_id attrs =
+  { attrs; peer_id; peer_router_id; ebgp; igp_cost }
+
+let next_hop t = t.attrs.Attributes.next_hop
+
+let equal a b =
+  a.peer_id = b.peer_id
+  && Net.Ipv4.equal a.peer_router_id b.peer_router_id
+  && a.ebgp = b.ebgp && a.igp_cost = b.igp_cost
+  && Attributes.equal a.attrs b.attrs
+
+let pp ppf t =
+  Fmt.pf ppf "@[<h>peer#%d(%a)%s %a@]" t.peer_id Net.Ipv4.pp t.peer_router_id
+    (if t.ebgp then "" else " ibgp")
+    Attributes.pp t.attrs

@@ -1,0 +1,25 @@
+(** A candidate route as stored in the RIB: path attributes plus the
+    bookkeeping the decision process needs about where the route was
+    learned. *)
+
+type t = {
+  attrs : Attributes.t;
+  peer_id : int;  (** dense index of the session the route came from *)
+  peer_router_id : Net.Ipv4.t;  (** final decision-process tiebreak *)
+  ebgp : bool;  (** learned over eBGP (preferred over iBGP) *)
+  igp_cost : int;  (** cost to reach [attrs.next_hop]; 0 for direct peers *)
+}
+
+val make :
+  ?ebgp:bool ->
+  ?igp_cost:int ->
+  peer_id:int ->
+  peer_router_id:Net.Ipv4.t ->
+  Attributes.t ->
+  t
+(** Defaults: [ebgp = true], [igp_cost = 0]. *)
+
+val next_hop : t -> Net.Ipv4.t
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,67 @@
+(** BGP session finite-state machine.
+
+    A simplified RFC 4271 FSM over a {!Channel} (the transport is
+    already connection-like, so the TCP-centric Connect/Active states
+    collapse into [Idle]). Keepalives are emitted at a third of the
+    negotiated hold time; a peer that stays silent past the hold time
+    brings the session down — this is BGP's slow failure-detection path,
+    which the paper contrasts with BFD. *)
+
+type state =
+  | Idle
+  | Open_sent
+  | Open_confirm
+  | Established
+  | Closed
+
+val pp_state : Format.formatter -> state -> unit
+
+type down_reason =
+  | Hold_timer_expired
+  | Notification_received of Message.notification
+  | Channel_broken
+  | Stopped  (** local administrative stop *)
+
+val pp_down_reason : Format.formatter -> down_reason -> unit
+
+type t
+
+val create :
+  Sim.Engine.t ->
+  channel:Channel.t ->
+  side:Channel.side ->
+  asn:Asn.t ->
+  router_id:Net.Ipv4.t ->
+  ?hold_time:int ->
+  ?name:string ->
+  unit ->
+  t
+(** [hold_time] is in seconds (default 90; 0 disables keepalive/hold
+    processing entirely). Attaches itself to its side of the channel. *)
+
+val start : t -> unit
+(** Sends OPEN and moves to [Open_sent]. Idempotent once started. *)
+
+val stop : t -> unit
+(** Sends a Cease notification and closes. *)
+
+val state : t -> state
+val name : t -> string
+
+val peer : t -> Message.open_msg option
+(** The peer's OPEN, available from [Open_confirm] on. *)
+
+val negotiated_hold_time : t -> int option
+(** Seconds; [None] before OPENs are exchanged or when disabled. *)
+
+val on_established : t -> (Message.open_msg -> unit) -> unit
+val on_update : t -> (Message.update -> unit) -> unit
+val on_down : t -> (down_reason -> unit) -> unit
+(** At most one callback each; a later registration replaces the
+    earlier one. *)
+
+val send_update : t -> Message.update -> unit
+(** @raise Invalid_argument unless the session is [Established]. *)
+
+val updates_sent : t -> int
+val updates_received : t -> int

@@ -1,0 +1,44 @@
+type t = {
+  mutable pending : string;
+  mutable poison : Net.Wire.error option;
+}
+
+let create () = { pending = ""; poison = None }
+
+let header_size = 19
+
+(* The total-length field sits at bytes 16-17 of the header. *)
+let message_length s =
+  (Char.code s.[16] lsl 8) lor Char.code s.[17]
+
+let feed t chunk =
+  match t.poison with
+  | Some err -> Error err
+  | None ->
+    t.pending <- t.pending ^ chunk;
+    let rec drain acc =
+      if String.length t.pending < header_size then Ok (List.rev acc)
+      else begin
+        let total = message_length t.pending in
+        if total < header_size || total > Codec.max_message_size then begin
+          let err = Net.Wire.Malformed "message length" in
+          t.poison <- Some err;
+          Error err
+        end
+        else if String.length t.pending < total then Ok (List.rev acc)
+        else
+          match Codec.decode t.pending with
+          | Ok (msg, consumed) ->
+            t.pending <-
+              String.sub t.pending consumed (String.length t.pending - consumed);
+            drain (msg :: acc)
+          | Error err ->
+            t.poison <- Some err;
+            Error err
+      end
+    in
+    drain []
+
+let buffered t = String.length t.pending
+
+let is_poisoned t = t.poison <> None

@@ -1,0 +1,22 @@
+(** Byte-stream reassembly for BGP sessions.
+
+    A real session reads BGP off a TCP stream, where message boundaries
+    do not align with read boundaries. This module buffers arbitrary
+    chunks and yields complete messages as they become available —
+    the missing piece between {!Codec} and a socket, and what a port of
+    {!Session} onto a real transport would sit on. *)
+
+type t
+
+val create : unit -> t
+
+val feed : t -> string -> (Message.t list, Net.Wire.error) result
+(** Appends the chunk and decodes every complete message now available
+    (possibly none). A malformed message poisons the stream: the error
+    is returned now and by every later call, as a real implementation
+    would tear the session down. *)
+
+val buffered : t -> int
+(** Bytes held waiting for the rest of a message. *)
+
+val is_poisoned : t -> bool

@@ -1,0 +1,1 @@
+lib/core/algorithm.ml: Backup_group Bgp Fmt Hashtbl List Net

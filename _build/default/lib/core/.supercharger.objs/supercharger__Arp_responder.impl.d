@@ -1,0 +1,1 @@
+lib/core/arp_responder.ml: Backup_group Net

@@ -1,0 +1,1 @@
+lib/core/arp_responder.mli: Backup_group Net

@@ -1,0 +1,1 @@
+lib/core/backup_group.ml: Fmt Hashtbl List Net Vnh

@@ -1,0 +1,1 @@
+lib/core/backup_group.mli: Format Net Vnh

@@ -1,0 +1,1 @@
+lib/core/controller.mli: Algorithm Backup_group Bgp Net Openflow Provisioner Router Sim

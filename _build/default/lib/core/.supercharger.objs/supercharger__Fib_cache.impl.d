@@ -1,0 +1,1 @@
+lib/core/fib_cache.ml: Fmt Hashtbl Net Openflow Option Provisioner Vnh

@@ -1,0 +1,1 @@
+lib/core/fib_cache.mli: Net Openflow Provisioner Vnh

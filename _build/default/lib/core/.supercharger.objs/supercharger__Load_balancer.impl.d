@@ -1,0 +1,1 @@
+lib/core/load_balancer.ml: Hashtbl Int32 List Net Openflow Option Provisioner Vnh

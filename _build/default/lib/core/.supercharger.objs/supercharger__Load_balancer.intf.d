@@ -1,0 +1,1 @@
+lib/core/load_balancer.mli: Net Openflow Provisioner Vnh

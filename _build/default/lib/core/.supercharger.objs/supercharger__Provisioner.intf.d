@@ -1,0 +1,1 @@
+lib/core/provisioner.mli: Backup_group Net Openflow

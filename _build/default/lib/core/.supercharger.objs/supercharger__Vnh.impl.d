@@ -1,0 +1,1 @@
+lib/core/vnh.ml: Int64 Net

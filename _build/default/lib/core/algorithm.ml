@@ -1,0 +1,73 @@
+type emission =
+  | Announce of Net.Prefix.t * Bgp.Attributes.t
+  | Withdraw of Net.Prefix.t
+
+let pp_emission ppf = function
+  | Announce (p, attrs) -> Fmt.pf ppf "announce %a %a" Net.Prefix.pp p Bgp.Attributes.pp attrs
+  | Withdraw p -> Fmt.pf ppf "withdraw %a" Net.Prefix.pp p
+
+module Prefix_table = Hashtbl.Make (struct
+  type t = Net.Prefix.t
+
+  let equal = Net.Prefix.equal
+  let hash = Net.Prefix.hash
+end)
+
+type t = {
+  groups : Backup_group.t;
+  last_sent : Bgp.Attributes.t Prefix_table.t;
+  mutable emissions : int;
+}
+
+let create groups = { groups; last_sent = Prefix_table.create 4096; emissions = 0 }
+
+let distinct_next_hops routes =
+  let rec dedup seen = function
+    | [] -> []
+    | r :: rest ->
+      let nh = Bgp.Route.next_hop r in
+      if List.exists (Net.Ipv4.equal nh) seen then dedup seen rest
+      else nh :: dedup (nh :: seen) rest
+  in
+  dedup [] routes
+
+let desired_attrs t (after : Bgp.Route.t list) =
+  match after with
+  | [] -> None
+  | best :: _ -> (
+    match distinct_next_hops after with
+    | [] | [_] -> Some best.attrs
+    | nhs ->
+      let binding = Backup_group.find_or_create t.groups nhs in
+      Some (Bgp.Attributes.with_next_hop best.attrs binding.Backup_group.vnh))
+
+let process_change t (change : Bgp.Rib.change) =
+  let prefix = change.prefix in
+  match desired_attrs t change.after with
+  | None ->
+    if Prefix_table.mem t.last_sent prefix then begin
+      Prefix_table.remove t.last_sent prefix;
+      t.emissions <- t.emissions + 1;
+      Some (Withdraw prefix)
+    end
+    else None
+  | Some attrs ->
+    let unchanged =
+      match Prefix_table.find_opt t.last_sent prefix with
+      | Some previous -> Bgp.Attributes.equal previous attrs
+      | None -> false
+    in
+    if unchanged then None
+    else begin
+      Prefix_table.replace t.last_sent prefix attrs;
+      t.emissions <- t.emissions + 1;
+      Some (Announce (prefix, attrs))
+    end
+
+let process_changes t changes = List.filter_map (process_change t) changes
+
+let last_announced t prefix = Prefix_table.find_opt t.last_sent prefix
+
+let announced_count t = Prefix_table.length t.last_sent
+
+let emissions_total t = t.emissions

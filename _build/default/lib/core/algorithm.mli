@@ -1,0 +1,45 @@
+(** The online backup-group computation — the paper's Listing 1.
+
+    For every RIB change the algorithm decides what (if anything) to
+    announce to the supercharged router:
+
+    - no candidates left → withdraw;
+    - a single candidate → announce it unmodified (no backup exists, so
+      no virtual next hop is needed);
+    - two or more candidates → announce the best route with its NEXT_HOP
+      rewritten to the VNH of the backup-group formed by the first
+      [group_size] next hops, allocating the group on first sight.
+
+    Deviation from the paper's pseudocode, documented in DESIGN.md: the
+    pseudocode skips the NH rewrite when the backup-group is unchanged
+    but other attributes changed, which would leak a real next hop to
+    the router; this implementation always rewrites when a backup
+    exists. Emissions are also deduplicated against the last announced
+    state per prefix, so identical re-announcements are suppressed. *)
+
+type emission =
+  | Announce of Net.Prefix.t * Bgp.Attributes.t
+  | Withdraw of Net.Prefix.t
+
+val pp_emission : Format.formatter -> emission -> unit
+
+type t
+
+val create : Backup_group.t -> t
+
+val process_change : t -> Bgp.Rib.change -> emission option
+(** Feed one RIB change (from [Bgp.Rib.apply_update] or
+    [Bgp.Rib.withdraw_peer]); returns the update to relay to the
+    supercharged router, if any. *)
+
+val process_changes : t -> Bgp.Rib.change list -> emission list
+
+val last_announced : t -> Net.Prefix.t -> Bgp.Attributes.t option
+(** What the router currently believes about a prefix (for tests and
+    invariant checks). *)
+
+val announced_count : t -> int
+(** Prefixes currently announced to the router. *)
+
+val emissions_total : t -> int
+(** Total emissions produced since creation. *)

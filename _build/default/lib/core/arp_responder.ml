@@ -1,0 +1,12 @@
+type verdict =
+  | Reply of Net.Arp.t
+  | Flood
+  | Ignore
+
+let handle groups (arp : Net.Arp.t) =
+  match arp.op with
+  | Net.Arp.Reply -> Ignore
+  | Net.Arp.Request -> (
+    match Backup_group.find_by_vnh groups arp.target_ip with
+    | Some binding -> Reply (Net.Arp.reply arp ~sender_mac:binding.Backup_group.vmac)
+    | None -> Flood)

@@ -1,0 +1,17 @@
+(** The controller-side ARP resolver (the paper extends Floodlight with
+    one of these).
+
+    When the supercharged router receives a route whose next hop is a
+    VNH, it issues an ARP request for it; the switch punts the request to
+    the controller, which answers with the backup-group's VMAC. Requests
+    for anything that is not a VNH are left for the real owner to answer
+    (the controller re-floods them). *)
+
+type verdict =
+  | Reply of Net.Arp.t
+      (** answer with this (VMAC-bearing) ARP reply, out the ingress
+          port *)
+  | Flood  (** not ours — re-flood so the real owner can answer *)
+  | Ignore  (** not a request; nothing to do *)
+
+val handle : Backup_group.t -> Net.Arp.t -> verdict

@@ -1,0 +1,391 @@
+module Ip_table = Hashtbl.Make (struct
+  type t = Net.Ipv4.t
+
+  let equal = Net.Ipv4.equal
+  let hash = Net.Ipv4.hash
+end)
+
+type upstream = {
+  up_peer : Bgp.Speaker.peer;
+  up_ip : Net.Ipv4.t;
+  up_import_local_pref : int option;
+}
+
+type downstream = {
+  down_peer : Bgp.Speaker.peer;
+  mutable down_pending : Bgp.Message.update list; (* reversed, until established *)
+}
+
+type t = {
+  engine : Sim.Engine.t;
+  name : string;
+  reroute_latency : Sim.Time.t;
+  bfd_detect_mult : int;
+  bfd_tx_interval : Sim.Time.t;
+  speaker : Bgp.Speaker.t;
+  rib : Bgp.Rib.t;
+  groups : Backup_group.t;
+  algorithm : Algorithm.t;
+  mutable provisioner : Provisioner.t option;
+  mutable to_switch : (Openflow.Message.t -> unit) option;
+  mutable upstreams : upstream list; (* reversed *)
+  mutable downstreams : downstream list; (* reversed *)
+  mutable dataplane : Router.Endhost.t option;
+  bfd_sessions : Bfd.Session.t Ip_table.t;
+  mutable failed : Net.Ipv4.t list;
+  mutable igp_cost_fn : (Net.Ipv4.t -> int) option;
+  mutable failover_cb : (failed:Net.Ipv4.t -> flow_mods:int -> unit) option;
+  mutable failovers : int;
+  mutable updates_processed : int;
+  mutable started : bool;
+}
+
+let trace t fmt =
+  Sim.Trace.emitf (Sim.Engine.trace t.engine) (Sim.Engine.now t.engine)
+    ~category:"controller" fmt
+
+let create engine ~name ~asn ~router_id ?(group_size = 2)
+    ?(reroute_latency = Sim.Time.of_ms 25) ?(bfd_detect_mult = 3)
+    ?(bfd_tx_interval = Sim.Time.of_ms 40) ?vnh_pool ?vmac_base () =
+  let allocator = Vnh.create ?pool:vnh_pool ?vmac_base () in
+  let groups = Backup_group.create ~group_size allocator in
+  {
+    engine;
+    name;
+    reroute_latency;
+    bfd_detect_mult;
+    bfd_tx_interval;
+    speaker = Bgp.Speaker.create engine ~name ~asn ~router_id ();
+    rib = Bgp.Rib.create ();
+    groups;
+    algorithm = Algorithm.create groups;
+    provisioner = None;
+    to_switch = None;
+    upstreams = [];
+    downstreams = [];
+    dataplane = None;
+    bfd_sessions = Ip_table.create 8;
+    failed = [];
+    igp_cost_fn = None;
+    failover_cb = None;
+    failovers = 0;
+    updates_processed = 0;
+    started = false;
+  }
+
+let name t = t.name
+
+let provisioner_exn t =
+  match t.provisioner with
+  | Some p -> p
+  | None -> invalid_arg (t.name ^ ": switch not connected")
+
+(* --- relaying emissions to the supercharged router(s) ----------------- *)
+
+(* Consecutive announcements sharing attributes are packed into a single
+   UPDATE (one attribute block, many NLRI), like a real speaker would. *)
+let updates_of_emissions emissions =
+  let flush_announce attrs nlri acc =
+    match nlri with
+    | [] -> acc
+    | _ -> Bgp.Message.{ withdrawn = []; attrs = Some attrs; nlri = List.rev nlri } :: acc
+  in
+  let rec walk acc current emissions =
+    match emissions, current with
+    | [], None -> List.rev acc
+    | [], Some (attrs, nlri) -> List.rev (flush_announce attrs nlri acc)
+    | Algorithm.Withdraw p :: rest, None ->
+      walk (Bgp.Message.{ withdrawn = [p]; attrs = None; nlri = [] } :: acc) None rest
+    | Algorithm.Withdraw p :: rest, Some (attrs, nlri) ->
+      let acc = flush_announce attrs nlri acc in
+      walk (Bgp.Message.{ withdrawn = [p]; attrs = None; nlri = [] } :: acc) None rest
+    | Algorithm.Announce (p, attrs) :: rest, None -> walk acc (Some (attrs, [p])) rest
+    | Algorithm.Announce (p, attrs) :: rest, Some (cur_attrs, nlri) ->
+      if Bgp.Attributes.equal attrs cur_attrs then
+        walk acc (Some (cur_attrs, p :: nlri)) rest
+      else
+        let acc = flush_announce cur_attrs nlri acc in
+        walk acc (Some (attrs, [p])) rest
+  in
+  walk [] None emissions
+
+let send_to_downstream (d : downstream) update =
+  if Bgp.Session.state d.down_peer.session = Bgp.Session.Established then
+    Bgp.Session.send_update d.down_peer.session update
+  else d.down_pending <- update :: d.down_pending
+
+let relay_emissions t emissions =
+  match updates_of_emissions emissions with
+  | [] -> ()
+  | updates ->
+    List.iter
+      (fun d -> List.iter (fun u -> send_to_downstream d u) updates)
+      (List.rev t.downstreams)
+
+(* --- upstream update processing (decision process + Listing 1) -------- *)
+
+let import_policy (up : upstream) (u : Bgp.Message.update) =
+  match up.up_import_local_pref, u.attrs with
+  | Some lp, Some attrs ->
+    { u with Bgp.Message.attrs = Some { attrs with Bgp.Attributes.local_pref = Some lp } }
+  | _ -> u
+
+let peer_router_id (peer : Bgp.Speaker.peer) =
+  match Bgp.Session.peer peer.session with
+  | Some o -> o.Bgp.Message.router_id
+  | None -> Net.Ipv4.any
+
+let handle_upstream_update t (up : upstream) update =
+  if not (List.exists (Net.Ipv4.equal up.up_ip) t.failed) then begin
+    t.updates_processed <- t.updates_processed + 1;
+    let update = import_policy up update in
+    let igp_cost =
+      match t.igp_cost_fn, update.Bgp.Message.attrs with
+      | Some cost_of, Some attrs -> cost_of attrs.Bgp.Attributes.next_hop
+      | _ -> 0
+    in
+    let changes =
+      Bgp.Rib.apply_update t.rib ~peer_id:up.up_peer.id
+        ~peer_router_id:(peer_router_id up.up_peer) ~igp_cost update
+    in
+    relay_emissions t (Algorithm.process_changes t.algorithm changes)
+  end
+
+(* --- failure handling (Listing 2 + slow path) -------------------------- *)
+
+let handle_peer_failure t failed_ip =
+  if not (List.exists (Net.Ipv4.equal failed_ip) t.failed) then begin
+    t.failed <- failed_ip :: t.failed;
+    trace t "%s: peer %a failed; scheduling reroute" t.name Net.Ipv4.pp failed_ip;
+    ignore
+      (Sim.Engine.schedule_after t.engine t.reroute_latency (fun () ->
+           (* Data-plane convergence first (Listing 2)... *)
+           let flow_mods =
+             Provisioner.fail_peer (provisioner_exn t) failed_ip
+               (Backup_group.with_member t.groups failed_ip)
+           in
+           t.failovers <- t.failovers + 1;
+           trace t "%s: rerouted %d backup-groups away from %a" t.name flow_mods
+             Net.Ipv4.pp failed_ip;
+           (match t.failover_cb with
+           | Some f -> f ~failed:failed_ip ~flow_mods
+           | None -> ());
+           (* ...then the slow path: withdraw the peer's routes so the
+              router reconverges in the background. *)
+           match
+             List.find_opt (fun up -> Net.Ipv4.equal up.up_ip failed_ip) t.upstreams
+           with
+           | Some up ->
+             let changes = Bgp.Rib.withdraw_peer t.rib ~peer_id:up.up_peer.id in
+             relay_emissions t (Algorithm.process_changes t.algorithm changes)
+           | None -> ()))
+  end
+
+let handle_peer_recovery t revived_ip =
+  if List.exists (Net.Ipv4.equal revived_ip) t.failed then begin
+    t.failed <- List.filter (fun ip -> not (Net.Ipv4.equal ip revived_ip)) t.failed;
+    trace t "%s: peer %a recovered; scheduling repair" t.name Net.Ipv4.pp revived_ip;
+    ignore
+      (Sim.Engine.schedule_after t.engine t.reroute_latency (fun () ->
+           let p = provisioner_exn t in
+           Provisioner.revive_peer p revived_ip;
+           (* Re-point every group whose preferred member is alive again
+              (the inverse of Listing 2). Route state follows separately:
+              the peer re-announces over BGP, as after any session
+              re-establishment. *)
+           List.iter
+             (fun binding ->
+               let preferred =
+                 List.find_opt (Provisioner.is_alive p) binding.Backup_group.next_hops
+               in
+               match preferred, Provisioner.selected p binding with
+               | Some want, Some got when not (Net.Ipv4.equal want got) ->
+                 Provisioner.install_group p binding
+               | Some _, None -> Provisioner.install_group p binding
+               | _ -> ())
+             (Backup_group.with_member t.groups revived_ip)))
+  end
+
+(* --- switch interaction ------------------------------------------------ *)
+
+let handle_packet_in t send_to_switch ~in_port (frame : Net.Ethernet.frame) =
+  match frame.payload with
+  | Net.Ethernet.Arp arp -> (
+    match Arp_responder.handle t.groups arp with
+    | Arp_responder.Reply reply ->
+      let out =
+        Net.Ethernet.make ~src:reply.Net.Arp.sender_mac ~dst:reply.Net.Arp.target_mac
+          (Net.Ethernet.Arp reply)
+      in
+      send_to_switch
+        (Openflow.Message.Packet_out
+           { actions = [Openflow.Action.Output in_port]; frame = out })
+    | Arp_responder.Flood ->
+      send_to_switch
+        (Openflow.Message.Packet_out { actions = [Openflow.Action.Flood]; frame })
+    | Arp_responder.Ignore -> ())
+  | Net.Ethernet.Ipv4 _ -> (
+    (* Reactive fallback: a VMAC-tagged packet that raced ahead of its
+       rule installation is forwarded by the controller itself. *)
+    match Backup_group.find_by_vmac t.groups frame.dst with
+    | Some binding -> (
+      let p = provisioner_exn t in
+      match Provisioner.selected p binding with
+      | Some ip -> (
+        match Provisioner.peer p ip with
+        | Some info ->
+          send_to_switch
+            (Openflow.Message.Packet_out
+               {
+                 actions =
+                   [
+                     Openflow.Action.Set_dl_dst info.Provisioner.pi_mac;
+                     Openflow.Action.Output info.Provisioner.pi_port;
+                   ];
+                 frame;
+               })
+        | None -> ())
+      | None -> ())
+    | None -> ())
+
+let through_of_codec t msg =
+  match Openflow.Codec.decode_exact (Openflow.Codec.encode msg) with
+  | Ok decoded -> decoded
+  | Error err ->
+    invalid_arg
+      (Fmt.str "%s: OpenFlow message failed codec round-trip: %a" t.name
+         Net.Wire.pp_error err)
+
+let connect_switch ?(use_codec = false) t switch =
+  let send_ref = ref (fun _ -> ()) in
+  let from_switch msg =
+    let msg = if use_codec then through_of_codec t msg else msg in
+    match msg with
+    | Openflow.Message.Packet_in { in_port; frame } ->
+      handle_packet_in t !send_ref ~in_port frame
+    | Openflow.Message.Hello | Openflow.Message.Echo_request _
+    | Openflow.Message.Echo_reply _ | Openflow.Message.Features_request
+    | Openflow.Message.Features_reply _ | Openflow.Message.Flow_mod _
+    | Openflow.Message.Packet_out _ | Openflow.Message.Barrier_request _
+    | Openflow.Message.Barrier_reply _ ->
+      ()
+  in
+  let raw_send = Openflow.Switch.connect_controller switch from_switch in
+  let send msg =
+    raw_send (if use_codec then through_of_codec t msg else msg)
+  in
+  send_ref := send;
+  t.to_switch <- Some send;
+  let provisioner = Provisioner.create ~send () in
+  t.provisioner <- Some provisioner;
+  (* Rules must exist before the router can tag traffic with a fresh
+     VMAC: installation is triggered directly by group creation. *)
+  Backup_group.on_create t.groups (fun binding ->
+      Provisioner.install_group provisioner binding)
+
+let attach_dataplane t endhost =
+  t.dataplane <- Some endhost;
+  Router.Endhost.on_udp endhost (fun ~src (u : Net.Udp.t) ->
+      if u.dst_port = Bfd.Packet.udp_port then
+        match Ip_table.find_opt t.bfd_sessions src with
+        | Some session -> (
+          match Bfd.Packet.decode u.payload with
+          | Ok pkt -> Bfd.Session.receive session pkt
+          | Error _ -> ())
+        | None -> ())
+
+let add_upstream_peer t ~name ~ip ~mac ~switch_port ~channel ~side
+    ?import_local_pref ?hold_time () =
+  let peer = Bgp.Speaker.add_peer t.speaker ~name ~channel ~side ?hold_time () in
+  let up = { up_peer = peer; up_ip = ip; up_import_local_pref = import_local_pref } in
+  t.upstreams <- up :: t.upstreams;
+  (match t.provisioner with
+  | Some p ->
+    Provisioner.declare_peer p { Provisioner.pi_ip = ip; pi_mac = mac; pi_port = switch_port }
+  | None -> invalid_arg (t.name ^ ": connect_switch before add_upstream_peer"));
+  peer
+
+let add_router t ~name ~channel ~side ?hold_time () =
+  let peer = Bgp.Speaker.add_peer t.speaker ~name ~channel ~side ?hold_time () in
+  let d = { down_peer = peer; down_pending = [] } in
+  t.downstreams <- d :: t.downstreams;
+  peer
+
+let setup_callbacks t =
+  Bgp.Speaker.on_update t.speaker (fun peer update ->
+      match List.find_opt (fun up -> up.up_peer.id = peer.id) t.upstreams with
+      | Some up -> handle_upstream_update t up update
+      | None -> () (* updates from routers are not expected *));
+  Bgp.Speaker.on_peer_down t.speaker (fun peer _reason ->
+      match List.find_opt (fun up -> up.up_peer.id = peer.id) t.upstreams with
+      | Some up -> handle_peer_failure t up.up_ip
+      | None -> ());
+  Bgp.Speaker.on_peer_established t.speaker (fun peer ->
+      match List.find_opt (fun d -> d.down_peer.id = peer.id) t.downstreams with
+      | Some d ->
+        let pending = List.rev d.down_pending in
+        d.down_pending <- [];
+        List.iter (fun u -> Bgp.Session.send_update d.down_peer.session u) pending
+      | None -> ())
+
+let enable_bfd t =
+  match t.dataplane with
+  | None -> ()
+  | Some endhost ->
+    List.iter
+      (fun up ->
+        if not (Ip_table.mem t.bfd_sessions up.up_ip) then begin
+          let discriminator = Int32.of_int (Ip_table.length t.bfd_sessions + 1) in
+          let send pkt =
+            Router.Endhost.send_udp endhost ~dst:up.up_ip
+              ~src_port:(49152 + Int32.to_int discriminator)
+              ~dst_port:Bfd.Packet.udp_port (Bfd.Packet.encode pkt)
+          in
+          let session =
+            Bfd.Session.create t.engine
+              ~name:(Fmt.str "%s-bfd-%a" t.name Net.Ipv4.pp up.up_ip)
+              ~local_discriminator:discriminator ~detect_mult:t.bfd_detect_mult
+              ~tx_interval:t.bfd_tx_interval ~send ()
+          in
+          Ip_table.replace t.bfd_sessions up.up_ip session;
+          let ip = up.up_ip in
+          Bfd.Session.on_state_change session (fun state _diag ->
+              match state with
+              | Bfd.Packet.Down ->
+                if Bfd.Session.packets_received session > 0 then
+                  handle_peer_failure t ip
+              | Bfd.Packet.Up -> handle_peer_recovery t ip
+              | Bfd.Packet.Init | Bfd.Packet.Admin_down -> ());
+          Bfd.Session.enable session
+        end)
+      t.upstreams
+
+let arp_punt_rule =
+  Openflow.Flow_table.flow_mod ~priority:200 Openflow.Flow_table.Add
+    (Openflow.Ofmatch.make ~dl_type:0x0806 ~nw_proto:1 ())
+    [Openflow.Action.To_controller]
+
+let start t =
+  if not t.started then begin
+    t.started <- true;
+    setup_callbacks t;
+    (match t.to_switch with
+    | Some send ->
+      (* The ARP punt rule makes every ARP request visible to the
+         responder; replies keep flowing through the plain L2 rules. *)
+      send (Openflow.Message.Flow_mod arp_punt_rule)
+    | None -> invalid_arg (t.name ^ ": connect_switch before start"));
+    Bgp.Speaker.start t.speaker;
+    enable_bfd t
+  end
+
+let rib t = t.rib
+let groups t = t.groups
+let algorithm t = t.algorithm
+let provisioner t = provisioner_exn t
+
+let set_igp_cost_fn t f = t.igp_cost_fn <- Some f
+
+let on_failover t f = t.failover_cb <- Some f
+let failovers_handled t = t.failovers
+let updates_processed t = t.updates_processed

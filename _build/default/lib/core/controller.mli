@@ -1,0 +1,110 @@
+(** The supercharger controller (the paper's ExaBGP + Floodlight + BFD
+    composition, §3).
+
+    It interposes itself between a legacy router and its BGP peers:
+
+    - BGP updates from upstream peers are run through the decision
+      process into a {!Bgp.Rib}, then through the Listing 1
+      {!Algorithm}; the resulting announcements (with virtual next hops)
+      are relayed to the supercharged router(s);
+    - new backup-groups trigger switch-rule installation {e before} the
+      rewritten announcement is relayed, so the data plane is ready when
+      the router starts tagging;
+    - ARP requests punted by the switch are answered by the
+      {!Arp_responder} (VNH → VMAC);
+    - per-peer BFD sessions run over the controller's own data-plane
+      attachment; a detected failure triggers the Listing 2 fail-over
+      after a configurable [reroute_latency] (computation + REST push),
+      followed by the slow-path re-announcements that let the router
+      converge in the background;
+    - when BFD sees the peer again, the groups preferring it are
+      re-pointed back (the inverse of Listing 2); its routes return
+      through BGP re-announcement, as after any session
+      re-establishment.
+
+    Two controllers fed the same sessions compute identical VNH/VMAC
+    assignments and rules (everything here is deterministic in the input
+    order), which is the paper's state-free replication argument. *)
+
+type t
+
+val create :
+  Sim.Engine.t ->
+  name:string ->
+  asn:Bgp.Asn.t ->
+  router_id:Net.Ipv4.t ->
+  ?group_size:int ->
+  ?reroute_latency:Sim.Time.t ->
+  ?bfd_detect_mult:int ->
+  ?bfd_tx_interval:Sim.Time.t ->
+  ?vnh_pool:Net.Prefix.t ->
+  ?vmac_base:Net.Mac.t ->
+  unit ->
+  t
+(** Defaults: [group_size] 2; [reroute_latency] 25 ms; BFD 3 × 40 ms;
+    allocator defaults of {!Vnh.create}. *)
+
+val name : t -> string
+
+val connect_switch : ?use_codec:bool -> t -> Openflow.Switch.t -> unit
+(** Must be called before {!start}. With [use_codec:true] every message
+    in both directions is round-tripped through the OpenFlow 1.0 binary
+    codec in transit, exercising the real wire format (the integration
+    tests run this way); a codec bug surfaces as [Invalid_argument]. *)
+
+val attach_dataplane : t -> Router.Endhost.t -> unit
+(** The controller machine's NIC (wire its link to a switch port
+    separately). Required for BFD-based failure detection. *)
+
+val add_upstream_peer :
+  t ->
+  name:string ->
+  ip:Net.Ipv4.t ->
+  mac:Net.Mac.t ->
+  switch_port:int ->
+  channel:Bgp.Channel.t ->
+  side:Bgp.Channel.side ->
+  ?import_local_pref:int ->
+  ?hold_time:int ->
+  unit ->
+  Bgp.Speaker.peer
+(** A provider peer: BGP session over [channel], data-plane coordinates
+    for rule installation, optional import policy setting LOCAL_PREF on
+    everything learned from it (how "prefer provider #1" is expressed,
+    like the paper's R1 configuration). *)
+
+val add_router :
+  t ->
+  name:string ->
+  channel:Bgp.Channel.t ->
+  side:Bgp.Channel.side ->
+  ?hold_time:int ->
+  unit ->
+  Bgp.Speaker.peer
+(** A supercharged router downstream. Emissions are buffered until its
+    session establishes. *)
+
+val start : t -> unit
+(** Starts BGP sessions, installs the ARP punt rule, and enables BFD to
+    every upstream peer. *)
+
+val rib : t -> Bgp.Rib.t
+val groups : t -> Backup_group.t
+val algorithm : t -> Algorithm.t
+val provisioner : t -> Provisioner.t
+
+val set_igp_cost_fn : t -> (Net.Ipv4.t -> int) -> unit
+(** Plugs an IGP cost oracle (e.g. [Igp.Node.distance_to]) into the
+    decision process: routes are stored with the IGP distance to their
+    next hop, so step 6 of the tie-break — and hence the backup-group
+    order — follows intra-domain reachability, the paper's "other
+    intra-domain routing protocols can also be used" remark. Without it
+    every next hop costs 0 (all peers directly connected, as in the
+    paper's lab). *)
+
+val on_failover : t -> (failed:Net.Ipv4.t -> flow_mods:int -> unit) -> unit
+(** Fires when the Listing 2 procedure completes (rules handed to the
+    switch; they still take the switch's per-rule latency to land). *)
+
+val failovers_handled : t -> int
+val updates_processed : t -> int

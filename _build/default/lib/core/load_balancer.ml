@@ -1,0 +1,129 @@
+module Ip_table = Hashtbl.Make (struct
+  type t = Net.Ipv4.t
+
+  let equal = Net.Ipv4.equal
+  let hash = Net.Ipv4.hash
+end)
+
+type flow_key = {
+  fk_src : Net.Ipv4.t;
+  fk_dst : Net.Ipv4.t;
+  fk_src_port : int;
+  fk_dst_port : int;
+}
+
+type t = {
+  rule_priority : int;
+  send : Openflow.Message.t -> unit;
+  vnh : Net.Ipv4.t;
+  vmac : Net.Mac.t;
+  mutable targets : Provisioner.peer_info list; (* registration order *)
+  loads : int Ip_table.t;
+  assignments : (flow_key, Net.Ipv4.t) Hashtbl.t;
+  mutable rules : int;
+}
+
+let create ?(rule_priority = 300) ~allocator ~send () =
+  let vnh, vmac = Vnh.fresh allocator in
+  {
+    rule_priority;
+    send;
+    vnh;
+    vmac;
+    targets = [];
+    loads = Ip_table.create 8;
+    assignments = Hashtbl.create 256;
+    rules = 0;
+  }
+
+let vnh t = t.vnh
+let vmac t = t.vmac
+
+let send_rule t fm =
+  t.rules <- t.rules + 1;
+  t.send (Openflow.Message.Flow_mod fm)
+
+let add_target t info =
+  t.targets <- t.targets @ [info];
+  Ip_table.replace t.loads info.Provisioner.pi_ip 0;
+  (* Default rule: tagged traffic without a pinned flow goes to the
+     first target (priority just below the per-flow rules). *)
+  match t.targets with
+  | first :: _ ->
+    send_rule t
+      (Openflow.Flow_table.flow_mod ~priority:(t.rule_priority - 1)
+         Openflow.Flow_table.Add
+         (Openflow.Ofmatch.dl_dst t.vmac)
+         [
+           Openflow.Action.Set_dl_dst first.Provisioner.pi_mac;
+           Openflow.Action.Output first.Provisioner.pi_port;
+         ])
+  | [] -> ()
+
+let flow_key_of_packet (p : Net.Ipv4_packet.t) =
+  match p.payload with
+  | Net.Ipv4_packet.Udp u ->
+    Some
+      {
+        fk_src = p.src;
+        fk_dst = p.dst;
+        fk_src_port = u.Net.Udp.src_port;
+        fk_dst_port = u.Net.Udp.dst_port;
+      }
+  | Net.Ipv4_packet.Raw _ -> None
+
+let load t ip = Option.value (Ip_table.find_opt t.loads ip) ~default:0
+
+let least_loaded t =
+  match t.targets with
+  | [] -> invalid_arg "Load_balancer.assign: no targets"
+  | first :: rest ->
+    List.fold_left
+      (fun best candidate ->
+        if load t candidate.Provisioner.pi_ip < load t best.Provisioner.pi_ip then
+          candidate
+        else best)
+      first rest
+
+let assignment t key = Hashtbl.find_opt t.assignments key
+
+let assign t key =
+  match assignment t key with
+  | Some ip -> ip
+  | None ->
+    let target = least_loaded t in
+    let ip = target.Provisioner.pi_ip in
+    Hashtbl.replace t.assignments key ip;
+    Ip_table.replace t.loads ip (load t ip + 1);
+    send_rule t
+      (Openflow.Flow_table.flow_mod ~priority:t.rule_priority Openflow.Flow_table.Add
+         (Openflow.Ofmatch.make ~dl_dst:t.vmac
+            ~nw_src:(Net.Prefix.make key.fk_src 32)
+            ~nw_dst:(Net.Prefix.make key.fk_dst 32)
+            ~nw_proto:17 ~tp_src:key.fk_src_port ~tp_dst:key.fk_dst_port ())
+         [
+           Openflow.Action.Set_dl_dst target.Provisioner.pi_mac;
+           Openflow.Action.Output target.Provisioner.pi_port;
+         ]);
+    ip
+
+let imbalance t =
+  let loads = List.map (fun p -> load t p.Provisioner.pi_ip) t.targets in
+  match loads with
+  | [] -> 0.0
+  | _ ->
+    let total = List.fold_left ( + ) 0 loads in
+    if total = 0 then 1.0
+    else
+      let mean = float_of_int total /. float_of_int (List.length loads) in
+      float_of_int (List.fold_left max 0 loads) /. mean
+
+(* RFC 2992-style modulo hashing over a few header bits — deliberately
+   the weak spot the paper points at: skewed traffic (e.g. destinations
+   sharing alignment) collapses onto few buckets. *)
+let static_hash ~n_targets key =
+  if n_targets <= 0 then invalid_arg "Load_balancer.static_hash";
+  let low = Int32.to_int (Net.Ipv4.to_int32 key.fk_dst) land 0xFF in
+  low mod n_targets
+
+let rules_sent t = t.rules

@@ -1,0 +1,102 @@
+type peer_info = {
+  pi_ip : Net.Ipv4.t;
+  pi_mac : Net.Mac.t;
+  pi_port : int;
+}
+
+module Ip_table = Hashtbl.Make (struct
+  type t = Net.Ipv4.t
+
+  let equal = Net.Ipv4.equal
+  let hash = Net.Ipv4.hash
+end)
+
+module Mac_table = Hashtbl.Make (struct
+  type t = Net.Mac.t
+
+  let equal = Net.Mac.equal
+  let hash = Net.Mac.hash
+end)
+
+type t = {
+  rule_priority : int;
+  send : Openflow.Message.t -> unit;
+  peers : peer_info Ip_table.t;
+  dead : unit Ip_table.t;
+  selected_by_vmac : Net.Ipv4.t Mac_table.t;
+  mutable flow_mods : int;
+}
+
+let create ?(rule_priority = 100) ~send () =
+  {
+    rule_priority;
+    send;
+    peers = Ip_table.create 16;
+    dead = Ip_table.create 4;
+    selected_by_vmac = Mac_table.create 64;
+    flow_mods = 0;
+  }
+
+let declare_peer t info = Ip_table.replace t.peers info.pi_ip info
+
+let peer t ip = Ip_table.find_opt t.peers ip
+
+let is_alive t ip = Ip_table.mem t.peers ip && not (Ip_table.mem t.dead ip)
+
+let first_alive t next_hops = List.find_opt (is_alive t) next_hops
+
+let send_group_rule t (binding : Backup_group.binding) target =
+  let actions =
+    match target with
+    | Some info ->
+      [Openflow.Action.Set_dl_dst info.pi_mac; Openflow.Action.Output info.pi_port]
+    | None -> [] (* no member alive: drop *)
+  in
+  let fm =
+    Openflow.Flow_table.flow_mod ~priority:t.rule_priority Openflow.Flow_table.Add
+      (Openflow.Ofmatch.dl_dst binding.Backup_group.vmac)
+      actions
+  in
+  t.flow_mods <- t.flow_mods + 1;
+  t.send (Openflow.Message.Flow_mod fm)
+
+let install_group t (binding : Backup_group.binding) =
+  List.iter
+    (fun ip ->
+      if not (Ip_table.mem t.peers ip) then
+        invalid_arg
+          (Fmt.str "Provisioner.install_group: peer %a not declared" Net.Ipv4.pp ip))
+    binding.next_hops;
+  match first_alive t binding.next_hops with
+  | Some ip -> (
+    match peer t ip with
+    | Some info ->
+      Mac_table.replace t.selected_by_vmac binding.vmac ip;
+      send_group_rule t binding (Some info)
+    | None ->
+      invalid_arg
+        (Fmt.str "Provisioner.install_group: peer %a not declared" Net.Ipv4.pp ip))
+  | None ->
+    Mac_table.remove t.selected_by_vmac binding.vmac;
+    send_group_rule t binding None
+
+let selected t (binding : Backup_group.binding) =
+  Mac_table.find_opt t.selected_by_vmac binding.vmac
+
+let fail_peer t failed_ip groups =
+  Ip_table.replace t.dead failed_ip ();
+  let before = t.flow_mods in
+  List.iter
+    (fun (binding : Backup_group.binding) ->
+      let points_at_failed =
+        match selected t binding with
+        | Some ip -> Net.Ipv4.equal ip failed_ip
+        | None -> false
+      in
+      if points_at_failed then install_group t binding)
+    groups;
+  t.flow_mods - before
+
+let revive_peer t ip = Ip_table.remove t.dead ip
+
+let flow_mods_sent t = t.flow_mods

@@ -1,0 +1,1 @@
+lib/experiments/ablations.ml: Array Fmt List Sim Stats String Topology

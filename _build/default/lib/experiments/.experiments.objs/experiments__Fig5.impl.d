@@ -1,0 +1,1 @@
+lib/experiments/fig5.ml: Array Buffer Bytes Float Fmt Int64 List Sim Stats String Topology

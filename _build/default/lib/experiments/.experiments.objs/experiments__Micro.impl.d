@@ -1,0 +1,1 @@
+lib/experiments/micro.ml: Array Bgp Fmt List Net Stats Supercharger Unix Workloads

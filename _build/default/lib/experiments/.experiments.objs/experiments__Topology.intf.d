@@ -1,0 +1,1 @@
+lib/experiments/topology.mli: Format Sim

@@ -1,0 +1,46 @@
+(** Figure 5 — convergence time vs. number of prefixes, supercharged and
+    non-supercharged, 3 repetitions × 100 monitored flows per point.
+
+    The paper's series: 1 k, 5 k, 10 k, 50 k, 100 k, 200 k, 300 k,
+    400 k, 500 k prefixes; each box plot shows median / IQR / 5th & 95th
+    percentiles, with the maximum printed above. *)
+
+type row = {
+  n_prefixes : int;
+  mode : Topology.mode;
+  summary : Stats.summary;  (** over repetitions × flows, in seconds *)
+  unrecovered : int;
+}
+
+val paper_sizes : int list
+(** The x-axis of the paper's Fig. 5. *)
+
+val paper_max_seconds : (int * float) list
+(** The non-supercharged maxima printed above Fig. 5's boxes: 0.9 s at
+    1 k … 140.9 s at 500 k — the reference the reproduction is compared
+    against in EXPERIMENTS.md. *)
+
+val run :
+  ?sizes:int list ->
+  ?repetitions:int ->
+  ?monitored_flows:int ->
+  ?seed:int64 ->
+  ?progress:(string -> unit) ->
+  unit ->
+  row list
+(** Runs the full sweep (both modes per size). Defaults: the paper's
+    sizes, 3 repetitions, 100 flows. *)
+
+val pp_table : Format.formatter -> row list -> unit
+(** Prints the figure as a table, one row per (size, mode), with the
+    paper's reference maxima and the improvement factor per size. *)
+
+val to_csv : row list -> string
+(** One line per (size, mode) with the box-plot statistics —
+    [prefixes,mode,n,min,p5,q1,median,q3,p95,max,mean,unrecovered] —
+    ready for external plotting. *)
+
+val pp_ascii_figure : Format.formatter -> row list -> unit
+(** Renders the box plots on a log-scale time axis, like the paper's
+    Fig. 5: whiskers at the 5th/95th percentiles, a box over the
+    inter-quartile range, the median marked inside. *)

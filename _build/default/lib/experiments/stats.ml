@@ -1,0 +1,46 @@
+let percentile xs p =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Stats.percentile: empty";
+  if p < 0.0 || p > 100.0 then invalid_arg "Stats.percentile: p out of range";
+  let sorted = Array.copy xs in
+  Array.sort Float.compare sorted;
+  let rank = p /. 100.0 *. float_of_int (n - 1) in
+  let lo = int_of_float (Float.floor rank) in
+  let hi = int_of_float (Float.ceil rank) in
+  if lo = hi then sorted.(lo)
+  else
+    let w = rank -. float_of_int lo in
+    (sorted.(lo) *. (1.0 -. w)) +. (sorted.(hi) *. w)
+
+type summary = {
+  n : int;
+  min : float;
+  p5 : float;
+  q1 : float;
+  median : float;
+  q3 : float;
+  p95 : float;
+  max : float;
+  mean : float;
+}
+
+let summarize xs =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Stats.summarize: empty";
+  let sum = Array.fold_left ( +. ) 0.0 xs in
+  {
+    n;
+    min = percentile xs 0.0;
+    p5 = percentile xs 5.0;
+    q1 = percentile xs 25.0;
+    median = percentile xs 50.0;
+    q3 = percentile xs 75.0;
+    p95 = percentile xs 95.0;
+    max = percentile xs 100.0;
+    mean = sum /. float_of_int n;
+  }
+
+let pp_summary ppf s =
+  Fmt.pf ppf
+    "n=%d min=%.3fs p5=%.3fs q1=%.3fs med=%.3fs q3=%.3fs p95=%.3fs max=%.3fs mean=%.3fs"
+    s.n s.min s.p5 s.q1 s.median s.q3 s.p95 s.max s.mean

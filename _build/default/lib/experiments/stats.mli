@@ -1,0 +1,25 @@
+(** Distribution summaries for the evaluation tables — the quantities
+    Fig. 5's box plots display: median, inter-quartile range, 5th/95th
+    percentiles, and the maximum printed above each box. *)
+
+val percentile : float array -> float -> float
+(** [percentile xs p] with [p] in [0, 100], linear interpolation between
+    order statistics (the array need not be sorted; it is not
+    modified). @raise Invalid_argument on an empty array. *)
+
+type summary = {
+  n : int;
+  min : float;
+  p5 : float;
+  q1 : float;
+  median : float;
+  q3 : float;
+  p95 : float;
+  max : float;
+  mean : float;
+}
+
+val summarize : float array -> summary
+
+val pp_summary : Format.formatter -> summary -> unit
+(** One-line rendering in seconds with millisecond precision. *)

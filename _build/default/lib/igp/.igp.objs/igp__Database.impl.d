@@ -1,0 +1,1 @@
+lib/igp/database.ml: Hashtbl Lsa Net

@@ -1,0 +1,1 @@
+lib/igp/database.mli: Lsa Net

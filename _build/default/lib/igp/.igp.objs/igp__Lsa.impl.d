@@ -1,0 +1,1 @@
+lib/igp/lsa.ml: Fmt List Net

@@ -1,0 +1,1 @@
+lib/igp/node.ml: Database List Lsa Net Sim Spf

@@ -1,0 +1,1 @@
+lib/igp/node.mli: Database Net Sim

@@ -1,0 +1,1 @@
+lib/igp/spf.ml: Hashtbl Int List Lsa Net Sim

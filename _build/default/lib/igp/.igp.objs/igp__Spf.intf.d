@@ -1,0 +1,1 @@
+lib/igp/spf.mli: Lsa Net

@@ -1,0 +1,34 @@
+module Ip_table = Hashtbl.Make (struct
+  type t = Net.Ipv4.t
+
+  let equal = Net.Ipv4.equal
+  let hash = Net.Ipv4.hash
+end)
+
+type t = Lsa.t Ip_table.t
+
+let create () = Ip_table.create 16
+
+type verdict =
+  | Installed
+  | Duplicate
+  | Stale
+
+let install t (lsa : Lsa.t) =
+  match Ip_table.find_opt t lsa.origin with
+  | None ->
+    Ip_table.replace t lsa.origin lsa;
+    Installed
+  | Some held ->
+    if Lsa.newer lsa ~than:held then begin
+      Ip_table.replace t lsa.origin lsa;
+      Installed
+    end
+    else if lsa.seq = held.seq then Duplicate
+    else Stale
+
+let find t origin = Ip_table.find_opt t origin
+
+let all t = Ip_table.fold (fun _ lsa acc -> lsa :: acc) t []
+
+let cardinal t = Ip_table.length t

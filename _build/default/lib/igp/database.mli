@@ -1,0 +1,16 @@
+(** Link-state database: the freshest LSA per origin. *)
+
+type t
+
+val create : unit -> t
+
+type verdict =
+  | Installed  (** newer than anything held: store and flood *)
+  | Duplicate  (** same sequence already held: ignore *)
+  | Stale  (** older than the held copy: ignore (and could re-flood ours) *)
+
+val install : t -> Lsa.t -> verdict
+
+val find : t -> Net.Ipv4.t -> Lsa.t option
+val all : t -> Lsa.t list
+val cardinal : t -> int

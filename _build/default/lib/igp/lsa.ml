@@ -1,0 +1,25 @@
+type t = {
+  origin : Net.Ipv4.t;
+  seq : int;
+  links : (Net.Ipv4.t * int) list;
+}
+
+let make ~origin ~seq ~links =
+  List.iter
+    (fun (_, cost) -> if cost <= 0 then invalid_arg "Lsa.make: non-positive cost")
+    links;
+  { origin; seq; links }
+
+let newer a ~than =
+  Net.Ipv4.equal a.origin than.origin && a.seq > than.seq
+
+let equal a b =
+  Net.Ipv4.equal a.origin b.origin && a.seq = b.seq
+  && List.equal
+       (fun (n1, c1) (n2, c2) -> Net.Ipv4.equal n1 n2 && c1 = c2)
+       a.links b.links
+
+let pp ppf t =
+  Fmt.pf ppf "lsa %a seq=%d links=[%a]" Net.Ipv4.pp t.origin t.seq
+    Fmt.(list ~sep:comma (fun ppf (n, c) -> Fmt.pf ppf "%a:%d" Net.Ipv4.pp n c))
+    t.links

@@ -1,0 +1,22 @@
+(** Link-state advertisements.
+
+    The paper notes the supercharger's provisioning trick works with
+    intra-domain protocols too ("other intra-domain routing protocols
+    such as OSPF or IS-IS can also be used"); this library provides the
+    link-state substrate — OSPF-style router LSAs, flooding and SPF —
+    and feeds the IGP-cost step of the BGP decision process. *)
+
+type t = {
+  origin : Net.Ipv4.t;  (** originating router id *)
+  seq : int;  (** freshness; higher wins *)
+  links : (Net.Ipv4.t * int) list;  (** (neighbor router id, cost) *)
+}
+
+val make : origin:Net.Ipv4.t -> seq:int -> links:(Net.Ipv4.t * int) list -> t
+(** Costs must be positive. *)
+
+val newer : t -> than:t -> bool
+(** Same origin, strictly higher sequence number. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,55 @@
+module Ip_table = Hashtbl.Make (struct
+  type t = Net.Ipv4.t
+
+  let equal = Net.Ipv4.equal
+  let hash = Net.Ipv4.hash
+end)
+
+let distances ~source ~lsas =
+  (* Index the freshest LSA per origin. *)
+  let db = Ip_table.create 16 in
+  List.iter
+    (fun (lsa : Lsa.t) ->
+      match Ip_table.find_opt db lsa.origin with
+      | Some existing when not (Lsa.newer lsa ~than:existing) -> ()
+      | _ -> Ip_table.replace db lsa.origin lsa)
+    lsas;
+  let advertises a b =
+    match Ip_table.find_opt db a with
+    | Some (lsa : Lsa.t) -> List.exists (fun (n, _) -> Net.Ipv4.equal n b) lsa.links
+    | None -> false
+  in
+  let edges_from a =
+    match Ip_table.find_opt db a with
+    | Some (lsa : Lsa.t) ->
+      (* Two-way connectivity check: use the link only if the neighbor
+         advertises it back. *)
+      List.filter (fun (n, _) -> advertises n a) lsa.links
+    | None -> []
+  in
+  let dist = Ip_table.create 16 in
+  let heap = Sim.Heap.create ~cmp:(fun (da, _) (db, _) -> Int.compare da db) () in
+  Sim.Heap.push heap (0, source);
+  let rec loop () =
+    match Sim.Heap.pop heap with
+    | None -> ()
+    | Some (d, node) ->
+      if not (Ip_table.mem dist node) then begin
+        Ip_table.replace dist node d;
+        List.iter
+          (fun (neighbor, cost) ->
+            if not (Ip_table.mem dist neighbor) then
+              Sim.Heap.push heap (d + cost, neighbor))
+          (edges_from node)
+      end;
+      loop ()
+  in
+  loop ();
+  List.sort
+    (fun (a, _) (b, _) -> Net.Ipv4.compare a b)
+    (Ip_table.fold (fun node d acc -> (node, d) :: acc) dist [])
+
+let distance_to ~source ~lsas target =
+  List.find_map
+    (fun (n, d) -> if Net.Ipv4.equal n target then Some d else None)
+    (distances ~source ~lsas)

@@ -1,0 +1,14 @@
+(** Shortest-path-first computation (Dijkstra over the LSA database).
+
+    Per link-state convention a link contributes to the topology only
+    when {e both} endpoints advertise it (the two-way connectivity
+    check), so a router that died — or whose LSA has not arrived yet —
+    cannot attract traffic through stale adjacencies. *)
+
+val distances : source:Net.Ipv4.t -> lsas:Lsa.t list -> (Net.Ipv4.t * int) list
+(** Cost of the shortest path from [source] to every reachable router
+    (the source itself included, at 0). Links are asymmetric: the cost
+    advertised by the near end is used in each direction. Unreachable
+    routers are absent. *)
+
+val distance_to : source:Net.Ipv4.t -> lsas:Lsa.t list -> Net.Ipv4.t -> int option

@@ -1,0 +1,1 @@
+lib/net/arp.ml: Fmt Ipv4 Mac

@@ -1,0 +1,1 @@
+lib/net/ethernet.ml: Arp Fmt Ipv4_packet Mac

@@ -1,0 +1,1 @@
+lib/net/ethernet.mli: Arp Format Ipv4_packet Mac

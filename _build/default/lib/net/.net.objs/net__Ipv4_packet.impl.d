@@ -1,0 +1,1 @@
+lib/net/ipv4_packet.ml: Fmt Ipv4 String Udp

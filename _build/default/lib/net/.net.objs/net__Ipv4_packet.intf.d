@@ -1,0 +1,1 @@
+lib/net/ipv4_packet.mli: Format Ipv4 Udp

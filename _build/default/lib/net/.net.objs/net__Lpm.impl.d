@@ -1,0 +1,1 @@
+lib/net/lpm.ml: Int32 Ipv4 List Prefix

@@ -1,0 +1,1 @@
+lib/net/mac.ml: Array Format Int64 Printf String

@@ -1,0 +1,1 @@
+lib/net/pcap.ml: Int32 Int64 Link List Sim String Wire

@@ -1,0 +1,1 @@
+lib/net/pcap.mli: Ethernet Link Sim Wire

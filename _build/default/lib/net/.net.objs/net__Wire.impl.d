@@ -1,0 +1,1 @@
+lib/net/wire.ml: Arp Array Buffer Bytes Char Ethernet Fmt Int32 Ipv4 Ipv4_packet Mac String Udp

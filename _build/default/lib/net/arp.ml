@@ -1,0 +1,36 @@
+type operation = Request | Reply
+
+type t = {
+  op : operation;
+  sender_mac : Mac.t;
+  sender_ip : Ipv4.t;
+  target_mac : Mac.t;
+  target_ip : Ipv4.t;
+}
+
+let request ~sender_mac ~sender_ip ~target_ip =
+  { op = Request; sender_mac; sender_ip; target_mac = Mac.zero; target_ip }
+
+let reply req ~sender_mac =
+  {
+    op = Reply;
+    sender_mac;
+    sender_ip = req.target_ip;
+    target_mac = req.sender_mac;
+    target_ip = req.sender_ip;
+  }
+
+let equal a b =
+  a.op = b.op
+  && Mac.equal a.sender_mac b.sender_mac
+  && Ipv4.equal a.sender_ip b.sender_ip
+  && Mac.equal a.target_mac b.target_mac
+  && Ipv4.equal a.target_ip b.target_ip
+
+let pp ppf t =
+  match t.op with
+  | Request ->
+    Fmt.pf ppf "arp who-has %a tell %a(%a)" Ipv4.pp t.target_ip Ipv4.pp
+      t.sender_ip Mac.pp t.sender_mac
+  | Reply ->
+    Fmt.pf ppf "arp %a is-at %a" Ipv4.pp t.sender_ip Mac.pp t.sender_mac

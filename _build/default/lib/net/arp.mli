@@ -1,0 +1,27 @@
+(** ARP requests and replies (RFC 826, Ethernet/IPv4 only).
+
+    ARP is the provisioning trick at the heart of the supercharged
+    router: the router resolves each virtual next-hop (VNH) address with
+    an ARP request, and the controller answers with the backup-group's
+    virtual MAC (VMAC). *)
+
+type operation = Request | Reply
+
+type t = {
+  op : operation;
+  sender_mac : Mac.t;
+  sender_ip : Ipv4.t;
+  target_mac : Mac.t;
+  (** [Mac.zero] in requests. *)
+  target_ip : Ipv4.t;
+}
+
+val request : sender_mac:Mac.t -> sender_ip:Ipv4.t -> target_ip:Ipv4.t -> t
+(** A who-has request for [target_ip]. *)
+
+val reply : t -> sender_mac:Mac.t -> t
+(** [reply req ~sender_mac] answers [req]: the replier claims
+    [req.target_ip] at [sender_mac], addressed back to the requester. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,36 @@
+type payload =
+  | Arp of Arp.t
+  | Ipv4 of Ipv4_packet.t
+
+type frame = {
+  src : Mac.t;
+  dst : Mac.t;
+  payload : payload;
+}
+
+let make ~src ~dst payload = { src; dst; payload }
+
+let ethertype frame =
+  match frame.payload with Arp _ -> 0x0806 | Ipv4 _ -> 0x0800
+
+let length frame =
+  14
+  +
+  match frame.payload with
+  | Arp _ -> 28
+  | Ipv4 p -> Ipv4_packet.length p
+
+let equal a b =
+  Mac.equal a.src b.src && Mac.equal a.dst b.dst
+  &&
+  match a.payload, b.payload with
+  | Arp x, Arp y -> Arp.equal x y
+  | Ipv4 x, Ipv4 y -> Ipv4_packet.equal x y
+  | Arp _, Ipv4 _ | Ipv4 _, Arp _ -> false
+
+let pp ppf t =
+  let pp_payload ppf = function
+    | Arp a -> Arp.pp ppf a
+    | Ipv4 p -> Ipv4_packet.pp ppf p
+  in
+  Fmt.pf ppf "eth %a -> %a [%a]" Mac.pp t.src Mac.pp t.dst pp_payload t.payload

@@ -1,0 +1,26 @@
+(** Ethernet II frames.
+
+    The destination MAC is the pivot of the whole design: the router tags
+    traffic with a backup-group VMAC there, and the SDN switch matches on
+    it to steer traffic to the live next-hop. *)
+
+type payload =
+  | Arp of Arp.t
+  | Ipv4 of Ipv4_packet.t
+
+type frame = {
+  src : Mac.t;
+  dst : Mac.t;
+  payload : payload;
+}
+
+val make : src:Mac.t -> dst:Mac.t -> payload -> frame
+
+val ethertype : frame -> int
+(** 0x0806 for ARP, 0x0800 for IPv4. *)
+
+val length : frame -> int
+(** On-wire length: 14-byte header + payload (no FCS). *)
+
+val equal : frame -> frame -> bool
+val pp : Format.formatter -> frame -> unit

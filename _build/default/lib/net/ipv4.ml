@@ -1,0 +1,62 @@
+type t = int32
+
+let of_int32 x = x
+let to_int32 x = x
+
+let of_octets a b c d =
+  if a < 0 || a > 255 || b < 0 || b > 255 || c < 0 || c > 255 || d < 0 || d > 255
+  then invalid_arg "Ipv4.of_octets";
+  Int32.logor
+    (Int32.shift_left (Int32.of_int a) 24)
+    (Int32.logor
+       (Int32.shift_left (Int32.of_int b) 16)
+       (Int32.logor (Int32.shift_left (Int32.of_int c) 8) (Int32.of_int d)))
+
+let to_octets t =
+  let byte n = Int32.to_int (Int32.logand (Int32.shift_right_logical t n) 0xFFl) in
+  (byte 24, byte 16, byte 8, byte 0)
+
+let of_string s =
+  let fail () = Error (Printf.sprintf "invalid IPv4 address %S" s) in
+  match String.split_on_char '.' s with
+  | [a; b; c; d] ->
+    let parse_octet o =
+      (* Reject empty, signs, and leading-zero ambiguity beyond "0". *)
+      if String.length o = 0 || String.length o > 3 then None
+      else if String.length o > 1 && o.[0] = '0' then None
+      else
+        match int_of_string_opt o with
+        | Some v when v >= 0 && v <= 255 -> Some v
+        | Some _ | None -> None
+    in
+    (match parse_octet a, parse_octet b, parse_octet c, parse_octet d with
+    | Some a, Some b, Some c, Some d -> Ok (of_octets a b c d)
+    | _ -> fail ())
+  | _ -> fail ()
+
+let of_string_exn s =
+  match of_string s with Ok t -> t | Error msg -> invalid_arg msg
+
+let to_string t =
+  let a, b, c, d = to_octets t in
+  Printf.sprintf "%d.%d.%d.%d" a b c d
+
+let any = 0l
+let broadcast = 0xFFFFFFFFl
+
+let succ t = Int32.add t 1l
+let add t n = Int32.add t (Int32.of_int n)
+
+let unsigned x = Int32.to_int x land 0xFFFFFFFF
+
+let diff a b = (unsigned a - unsigned b) land 0xFFFFFFFF
+
+let compare a b = Int32.unsigned_compare a b
+let equal a b = Int32.equal a b
+let hash t = Int32.to_int t land max_int
+
+let bit t i =
+  if i < 0 || i > 31 then invalid_arg "Ipv4.bit";
+  Int32.logand (Int32.shift_right_logical t (31 - i)) 1l = 1l
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)

@@ -1,0 +1,49 @@
+(** IPv4 addresses.
+
+    Stored as a host-order [int32]; all arithmetic treats the address as
+    an unsigned 32-bit integer. *)
+
+type t
+
+val of_int32 : int32 -> t
+val to_int32 : t -> int32
+
+val of_octets : int -> int -> int -> int -> t
+(** [of_octets a b c d] is [a.b.c.d]. Each octet must be in [0, 255]. *)
+
+val to_octets : t -> int * int * int * int
+
+val of_string : string -> (t, string) result
+(** Parses dotted-quad notation. *)
+
+val of_string_exn : string -> t
+(** @raise Invalid_argument on malformed input. *)
+
+val to_string : t -> string
+
+val any : t
+(** [0.0.0.0] *)
+
+val broadcast : t
+(** [255.255.255.255] *)
+
+val succ : t -> t
+(** Next address, wrapping at [255.255.255.255]. *)
+
+val add : t -> int -> t
+(** [add a n] is the address [n] after [a] (unsigned, wrapping). *)
+
+val diff : t -> t -> int
+(** [diff a b] is the unsigned distance [a - b] interpreted in [int]. *)
+
+val compare : t -> t -> int
+(** Unsigned comparison: [0.0.0.1 < 128.0.0.0 < 255.255.255.255]. *)
+
+val equal : t -> t -> bool
+val hash : t -> int
+
+val bit : t -> int -> bool
+(** [bit a i] is bit [i] of [a], where bit 0 is the most significant.
+    Requires [0 <= i < 32]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,45 @@
+type payload =
+  | Udp of Udp.t
+  | Raw of { protocol : int; body : string }
+
+type t = {
+  src : Ipv4.t;
+  dst : Ipv4.t;
+  ttl : int;
+  payload : payload;
+}
+
+let make ?(ttl = 64) ~src ~dst payload =
+  if ttl < 0 || ttl > 255 then invalid_arg "Ipv4_packet.make: ttl out of range";
+  { src; dst; ttl; payload }
+
+let udp ?ttl ~src ~dst ~src_port ~dst_port body =
+  make ?ttl ~src ~dst (Udp (Udp.make ~src_port ~dst_port ~payload:body))
+
+let decrement_ttl t =
+  if t.ttl <= 1 then None else Some { t with ttl = t.ttl - 1 }
+
+let protocol_number t =
+  match t.payload with Udp _ -> 17 | Raw { protocol; _ } -> protocol
+
+let payload_length = function
+  | Udp u -> Udp.length u
+  | Raw { body; _ } -> String.length body
+
+let length t = 20 + payload_length t.payload
+
+let equal a b =
+  Ipv4.equal a.src b.src && Ipv4.equal a.dst b.dst && a.ttl = b.ttl
+  &&
+  match a.payload, b.payload with
+  | Udp ua, Udp ub -> Udp.equal ua ub
+  | Raw ra, Raw rb -> ra.protocol = rb.protocol && String.equal ra.body rb.body
+  | Udp _, Raw _ | Raw _, Udp _ -> false
+
+let pp ppf t =
+  let pp_payload ppf = function
+    | Udp u -> Udp.pp ppf u
+    | Raw { protocol; body } -> Fmt.pf ppf "proto=%d (%d bytes)" protocol (String.length body)
+  in
+  Fmt.pf ppf "ip %a -> %a ttl=%d %a" Ipv4.pp t.src Ipv4.pp t.dst t.ttl
+    pp_payload t.payload

@@ -1,0 +1,35 @@
+(** IPv4 packets.
+
+    Only the fields the system acts on are modelled structurally; other
+    transport protocols ride as raw bytes. *)
+
+type payload =
+  | Udp of Udp.t
+  | Raw of { protocol : int; body : string }
+      (** Any non-UDP protocol; [protocol] is the IP protocol number. *)
+
+type t = {
+  src : Ipv4.t;
+  dst : Ipv4.t;
+  ttl : int;
+  payload : payload;
+}
+
+val make : ?ttl:int -> src:Ipv4.t -> dst:Ipv4.t -> payload -> t
+(** Default [ttl] is 64. *)
+
+val udp : ?ttl:int -> src:Ipv4.t -> dst:Ipv4.t -> src_port:int -> dst_port:int ->
+  string -> t
+(** Convenience constructor for a UDP packet. *)
+
+val decrement_ttl : t -> t option
+(** [None] when the TTL reaches zero (packet must be dropped). *)
+
+val protocol_number : t -> int
+(** The IP protocol field: 17 for UDP, the carried number for [Raw]. *)
+
+val length : t -> int
+(** On-wire length: 20-byte header + payload. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

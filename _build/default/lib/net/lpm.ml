@@ -1,0 +1,128 @@
+type 'a node = {
+  mutable value : 'a option;
+  mutable zero : 'a node option; (* next bit = 0 *)
+  mutable one : 'a node option;  (* next bit = 1 *)
+}
+
+type 'a t = {
+  mutable root : 'a node;
+  mutable cardinal : int;
+}
+
+let new_node () = { value = None; zero = None; one = None }
+
+let create () = { root = new_node (); cardinal = 0 }
+
+let child node bit = if bit then node.one else node.zero
+
+let set_child node bit c =
+  if bit then node.one <- c else node.zero <- c
+
+let insert t prefix v =
+  let addr = Prefix.network prefix in
+  let len = Prefix.length prefix in
+  let rec walk node depth =
+    if depth = len then begin
+      if node.value = None then t.cardinal <- t.cardinal + 1;
+      node.value <- Some v
+    end
+    else begin
+      let bit = Ipv4.bit addr depth in
+      let next =
+        match child node bit with
+        | Some c -> c
+        | None ->
+          let c = new_node () in
+          set_child node bit (Some c);
+          c
+      in
+      walk next (depth + 1)
+    end
+  in
+  walk t.root 0
+
+(* Removal prunes now-empty branches on the way back up so long runs of
+   insert/remove (BGP churn) do not leak nodes. *)
+let remove t prefix =
+  let addr = Prefix.network prefix in
+  let len = Prefix.length prefix in
+  let rec walk node depth =
+    (* Returns [true] when [node] became empty and can be detached. *)
+    if depth = len then begin
+      if node.value <> None then begin
+        t.cardinal <- t.cardinal - 1;
+        node.value <- None
+      end;
+      node.value = None && node.zero = None && node.one = None
+    end
+    else begin
+      let bit = Ipv4.bit addr depth in
+      match child node bit with
+      | None -> false
+      | Some c ->
+        let prune = walk c (depth + 1) in
+        if prune then set_child node bit None;
+        node.value = None && node.zero = None && node.one = None
+    end
+  in
+  ignore (walk t.root 0)
+
+let find_exact t prefix =
+  let addr = Prefix.network prefix in
+  let len = Prefix.length prefix in
+  let rec walk node depth =
+    if depth = len then node.value
+    else
+      match child node (Ipv4.bit addr depth) with
+      | None -> None
+      | Some c -> walk c (depth + 1)
+  in
+  walk t.root 0
+
+let lookup t addr =
+  let rec walk node depth best =
+    let best =
+      match node.value with
+      | Some v -> Some (Prefix.make addr depth, v)
+      | None -> best
+    in
+    if depth = 32 then best
+    else
+      match child node (Ipv4.bit addr depth) with
+      | None -> best
+      | Some c -> walk c (depth + 1) best
+  in
+  walk t.root 0 None
+
+let iter t f =
+  (* Reconstructs each prefix from the path; [bits] accumulates the path
+     as an int32 built most-significant-bit first. *)
+  let rec walk node depth bits =
+    (match node.value with
+    | Some v -> f (Prefix.make (Ipv4.of_int32 bits) depth) v
+    | None -> ());
+    (match node.zero with
+    | Some c -> walk c (depth + 1) bits
+    | None -> ());
+    match node.one with
+    | Some c ->
+      let bit = Int32.shift_left 1l (31 - depth) in
+      walk c (depth + 1) (Int32.logor bits bit)
+    | None -> ()
+  in
+  walk t.root 0 0l
+
+let fold t ~init ~f =
+  let acc = ref init in
+  iter t (fun p v -> acc := f !acc p v);
+  !acc
+
+let to_list t =
+  List.rev (fold t ~init:[] ~f:(fun acc p v -> (p, v) :: acc))
+
+let cardinal t = t.cardinal
+let is_empty t = t.cardinal = 0
+
+let clear t =
+  t.root <- new_node ();
+  t.cardinal <- 0

@@ -1,0 +1,37 @@
+(** Longest-prefix-match table.
+
+    A mutable binary trie from IPv4 prefixes to values — the data
+    structure behind both the router FIB and the monitored-flow lookup in
+    the traffic sink. Inserting or removing is O(prefix length); lookup
+    is O(32). *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val insert : 'a t -> Prefix.t -> 'a -> unit
+(** Binds the prefix, replacing any previous binding. *)
+
+val remove : 'a t -> Prefix.t -> unit
+(** Removes the exact prefix; no-op if absent. *)
+
+val find_exact : 'a t -> Prefix.t -> 'a option
+(** Exact-prefix lookup (not longest-match). *)
+
+val lookup : 'a t -> Ipv4.t -> (Prefix.t * 'a) option
+(** Longest-prefix match for an address. *)
+
+val cardinal : 'a t -> int
+(** Number of bound prefixes. *)
+
+val is_empty : 'a t -> bool
+
+val iter : 'a t -> (Prefix.t -> 'a -> unit) -> unit
+(** Visits bindings in trie (lexicographic bit-string) order. *)
+
+val fold : 'a t -> init:'b -> f:('b -> Prefix.t -> 'a -> 'b) -> 'b
+
+val to_list : 'a t -> (Prefix.t * 'a) list
+(** Bindings in trie order. *)
+
+val clear : 'a t -> unit

@@ -1,0 +1,31 @@
+(** Pcap capture of simulated traffic.
+
+    Frames crossing a {!Link} (or any other capture point) can be dumped
+    to standard nanosecond-precision pcap files — built on the real
+    {!Wire} encodings, so the captures open in Wireshark/tcpdump with
+    correct checksums. Useful for debugging a simulation the way one
+    would debug the paper's hardware lab. *)
+
+type writer
+
+val create_file : string -> writer
+(** Opens the file and writes the pcap global header (nanosecond magic,
+    LINKTYPE_ETHERNET). *)
+
+val write_frame : writer -> Sim.Time.t -> Ethernet.frame -> unit
+(** Appends one record; the simulated instant becomes the capture
+    timestamp. *)
+
+val frames_written : writer -> int
+
+val close : writer -> unit
+
+val tap_link : writer -> Link.t -> unit
+(** Captures every frame offered to the link (in both directions), at
+    transmission time — including frames the link later drops, like a
+    physical-layer tap would see them. *)
+
+val read_file : string -> ((Sim.Time.t * Ethernet.frame) list, Wire.error) result
+(** Reads a capture back (only files produced by this module's writer:
+    nanosecond magic, Ethernet link type, big-endian). Frames that fail
+    to parse abort the read with the decode error. *)

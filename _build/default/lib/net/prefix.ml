@@ -1,0 +1,60 @@
+type t = { network : Ipv4.t; length : int }
+
+let mask_of_length len =
+  if len = 0 then 0l else Int32.shift_left (-1l) (32 - len)
+
+let make addr len =
+  if len < 0 || len > 32 then invalid_arg "Prefix.make: length out of range";
+  let network = Ipv4.of_int32 (Int32.logand (Ipv4.to_int32 addr) (mask_of_length len)) in
+  { network; length = len }
+
+let of_string s =
+  let fail () = Error (Printf.sprintf "invalid prefix %S" s) in
+  match String.index_opt s '/' with
+  | None -> fail ()
+  | Some i ->
+    let addr_part = String.sub s 0 i in
+    let len_part = String.sub s (i + 1) (String.length s - i - 1) in
+    (match Ipv4.of_string addr_part, int_of_string_opt len_part with
+    | Ok addr, Some len when len >= 0 && len <= 32 -> Ok (make addr len)
+    | _ -> fail ())
+
+let v s =
+  match of_string s with Ok t -> t | Error msg -> invalid_arg msg
+
+let to_string t = Printf.sprintf "%s/%d" (Ipv4.to_string t.network) t.length
+
+let network t = t.network
+let length t = t.length
+
+let mem addr t =
+  let m = mask_of_length t.length in
+  Int32.equal (Int32.logand (Ipv4.to_int32 addr) m) (Ipv4.to_int32 t.network)
+
+let subset inner outer =
+  inner.length >= outer.length && mem inner.network outer
+
+let first t = t.network
+
+let last t =
+  let host_mask = Int32.lognot (mask_of_length t.length) in
+  Ipv4.of_int32 (Int32.logor (Ipv4.to_int32 t.network) host_mask)
+
+let size t =
+  if t.length = 0 then max_int else 1 lsl (32 - t.length)
+
+let nth t i =
+  if i < 0 || (t.length > 0 && i >= size t) then invalid_arg "Prefix.nth";
+  Ipv4.add t.network i
+
+let default_route = make Ipv4.any 0
+
+let compare a b =
+  let c = Ipv4.compare a.network b.network in
+  if c <> 0 then c else Int.compare a.length b.length
+
+let equal a b = compare a b = 0
+
+let hash t = (Ipv4.hash t.network * 33) + t.length
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)

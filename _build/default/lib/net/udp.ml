@@ -1,0 +1,21 @@
+type t = {
+  src_port : int;
+  dst_port : int;
+  payload : string;
+}
+
+let valid_port p = p >= 0 && p <= 0xFFFF
+
+let make ~src_port ~dst_port ~payload =
+  if not (valid_port src_port && valid_port dst_port) then
+    invalid_arg "Udp.make: port out of range";
+  { src_port; dst_port; payload }
+
+let length t = 8 + String.length t.payload
+
+let equal a b =
+  a.src_port = b.src_port && a.dst_port = b.dst_port
+  && String.equal a.payload b.payload
+
+let pp ppf t =
+  Fmt.pf ppf "udp %d->%d (%d bytes)" t.src_port t.dst_port (String.length t.payload)

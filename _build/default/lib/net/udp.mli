@@ -1,0 +1,16 @@
+(** UDP datagrams (header + opaque payload). *)
+
+type t = {
+  src_port : int;
+  dst_port : int;
+  payload : string;
+}
+
+val make : src_port:int -> dst_port:int -> payload:string -> t
+(** Requires ports in [0, 65535]. *)
+
+val length : t -> int
+(** On-wire length: 8-byte header + payload. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

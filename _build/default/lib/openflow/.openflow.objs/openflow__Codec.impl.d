@@ -1,0 +1,1 @@
+lib/openflow/codec.ml: Action Array Char Flow_table Int32 Int64 Ipv4 List Mac Message Net Ofmatch Option Prefix Printf String Wire

@@ -1,0 +1,1 @@
+lib/openflow/codec.mli: Message Net

@@ -1,0 +1,1 @@
+lib/openflow/flow_table.mli: Action Format Ofmatch

@@ -1,0 +1,1 @@
+lib/openflow/message.ml: Action Flow_table Fmt Net Ofmatch

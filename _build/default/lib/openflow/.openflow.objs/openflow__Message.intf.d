@@ -1,0 +1,1 @@
+lib/openflow/message.mli: Action Flow_table Format Net

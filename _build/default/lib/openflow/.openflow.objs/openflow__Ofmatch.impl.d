@@ -1,0 +1,1 @@
+lib/openflow/ofmatch.ml: Fmt Int Net Option

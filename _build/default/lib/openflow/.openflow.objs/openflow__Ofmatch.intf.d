@@ -1,0 +1,1 @@
+lib/openflow/ofmatch.mli: Format Net

@@ -1,0 +1,1 @@
+lib/openflow/switch.ml: Action Array Flow_table Fmt Fun List Message Net Ofmatch Option Sim

@@ -1,0 +1,1 @@
+lib/openflow/switch.mli: Flow_table Message Net Sim

@@ -1,0 +1,65 @@
+type t =
+  | Output of int
+  | Flood
+  | Set_dl_src of Net.Mac.t
+  | Set_dl_dst of Net.Mac.t
+  | Set_nw_src of Net.Ipv4.t
+  | Set_nw_dst of Net.Ipv4.t
+  | To_controller
+
+type result = {
+  frame : Net.Ethernet.frame;
+  ports : int list;
+  flood : bool;
+  to_controller : bool;
+}
+
+let rewrite_ip frame ~f =
+  match frame.Net.Ethernet.payload with
+  | Net.Ethernet.Ipv4 p -> { frame with Net.Ethernet.payload = Net.Ethernet.Ipv4 (f p) }
+  | Net.Ethernet.Arp _ -> frame
+
+let apply actions frame =
+  let frame = ref frame in
+  let ports = ref [] in
+  let flood = ref false in
+  let to_controller = ref false in
+  List.iter
+    (fun action ->
+      match action with
+      | Output port -> ports := port :: !ports
+      | Flood -> flood := true
+      | Set_dl_src mac -> frame := { !frame with Net.Ethernet.src = mac }
+      | Set_dl_dst mac -> frame := { !frame with Net.Ethernet.dst = mac }
+      | Set_nw_src ip ->
+        frame := rewrite_ip !frame ~f:(fun p -> { p with Net.Ipv4_packet.src = ip })
+      | Set_nw_dst ip ->
+        frame := rewrite_ip !frame ~f:(fun p -> { p with Net.Ipv4_packet.dst = ip })
+      | To_controller -> to_controller := true)
+    actions;
+  { frame = !frame; ports = List.rev !ports; flood = !flood; to_controller = !to_controller }
+
+let equal a b =
+  match a, b with
+  | Output x, Output y -> x = y
+  | Flood, Flood -> true
+  | Set_dl_src x, Set_dl_src y | Set_dl_dst x, Set_dl_dst y -> Net.Mac.equal x y
+  | Set_nw_src x, Set_nw_src y | Set_nw_dst x, Set_nw_dst y -> Net.Ipv4.equal x y
+  | To_controller, To_controller -> true
+  | ( ( Output _ | Flood | Set_dl_src _ | Set_dl_dst _ | Set_nw_src _
+      | Set_nw_dst _ | To_controller ),
+      _ ) ->
+    false
+
+let pp ppf = function
+  | Output p -> Fmt.pf ppf "output:%d" p
+  | Flood -> Fmt.string ppf "flood"
+  | Set_dl_src m -> Fmt.pf ppf "set_dl_src:%a" Net.Mac.pp m
+  | Set_dl_dst m -> Fmt.pf ppf "set_dl_dst:%a" Net.Mac.pp m
+  | Set_nw_src i -> Fmt.pf ppf "set_nw_src:%a" Net.Ipv4.pp i
+  | Set_nw_dst i -> Fmt.pf ppf "set_nw_dst:%a" Net.Ipv4.pp i
+  | To_controller -> Fmt.string ppf "controller"
+
+let pp_list ppf = function
+  | [] -> Fmt.string ppf "drop"
+  | actions -> Fmt.(list ~sep:comma pp) ppf actions

@@ -1,0 +1,32 @@
+(** OpenFlow actions.
+
+    The supercharger installs exactly the action list of the paper's
+    Listing 2: [[Set_dl_dst mac; Output port]] — rewrite the VMAC tag to
+    the live next-hop's real MAC, then forward out its port. *)
+
+type t =
+  | Output of int  (** forward out a switch port *)
+  | Flood  (** forward out every port except the arrival port (OFPP_FLOOD) *)
+  | Set_dl_src of Net.Mac.t
+  | Set_dl_dst of Net.Mac.t
+  | Set_nw_src of Net.Ipv4.t
+  | Set_nw_dst of Net.Ipv4.t
+  | To_controller  (** punt to the controller as a packet-in *)
+
+type result = {
+  frame : Net.Ethernet.frame;  (** after all header rewrites *)
+  ports : int list;  (** explicit [Output]s, in order *)
+  flood : bool;
+  to_controller : bool;
+}
+
+val apply : t list -> Net.Ethernet.frame -> result
+(** Executes the list in order, threading header rewrites. An [Output]
+    forwards the frame {e as rewritten so far}; for simplicity the model
+    applies all rewrites first, which is equivalent for every rule this
+    system installs (single rewrite before single output). An empty
+    action list drops the packet. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val pp_list : Format.formatter -> t list -> unit

@@ -1,0 +1,24 @@
+(** OpenFlow 1.0 binary encoding of the controller-switch messages the
+    system uses.
+
+    The simulation moves structured {!Message.t}s, but every message is
+    round-trippable through the real OF 1.0 wire format (the on-wire
+    protocol of the paper's HP E3800 / Floodlight deployment): the
+    40-byte [ofp_match] with its wildcard bitmap, [ofp_flow_mod],
+    [ofp_packet_in]/[ofp_packet_out] carrying real Ethernet frames
+    (via {!Net.Wire}), and the trivial HELLO/ECHO/BARRIER messages.
+    Property tests assert the round-trip. *)
+
+val encode : Message.t -> string
+(** Serialises one message, including the 8-byte OF header. Transaction
+    ids: echo and barrier messages carry theirs; other messages are
+    sent with xid 0. *)
+
+val decode : string -> (Message.t * int, Net.Wire.error) result
+(** Decodes the first message in the buffer and the bytes consumed. *)
+
+val decode_exact : string -> (Message.t, Net.Wire.error) result
+(** Requires the buffer to hold exactly one message. *)
+
+val version : int
+(** 0x01. *)

@@ -1,0 +1,55 @@
+(** Priority flow table with OpenFlow 1.0 flow-mod semantics. *)
+
+type entry = {
+  priority : int;
+  ofmatch : Ofmatch.t;
+  actions : Action.t list;
+  cookie : int64;
+  mutable packets : int;  (** match counter *)
+}
+
+type command =
+  | Add
+      (** insert; replaces an entry with identical match and priority *)
+  | Modify
+      (** update actions of all entries the given match {e subsumes}
+          (OF 1.0 non-strict semantics) *)
+  | Modify_strict  (** exact match and priority *)
+  | Delete
+      (** remove all entries the given match subsumes; [Ofmatch.any]
+          deletes everything *)
+  | Delete_strict
+
+type flow_mod = {
+  command : command;
+  fm_priority : int;
+  fm_match : Ofmatch.t;
+  fm_actions : Action.t list;
+  fm_cookie : int64;
+}
+
+val flow_mod :
+  ?cookie:int64 -> ?priority:int -> command -> Ofmatch.t -> Action.t list ->
+  flow_mod
+(** Default [priority] 100, [cookie] 0. *)
+
+type t
+
+val create : unit -> t
+
+val apply : t -> flow_mod -> unit
+(** Executes the flow-mod against the table (no latency — timing lives
+    in {!Switch}). [Modify]/[Modify_strict] on a non-existent flow
+    behaves like [Add], per OF 1.0. *)
+
+val lookup : t -> Ofmatch.context -> entry option
+(** Highest-priority matching entry; among equal priorities, the one
+    installed earliest. Increments the entry's packet counter. *)
+
+val entries : t -> entry list
+(** Priority-descending (lookup) order. *)
+
+val size : t -> int
+val clear : t -> unit
+
+val pp : Format.formatter -> t -> unit

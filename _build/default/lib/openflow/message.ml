@@ -1,0 +1,36 @@
+type t =
+  | Hello
+  | Echo_request of int
+  | Echo_reply of int
+  | Features_request
+  | Features_reply of { datapath_id : int64; n_ports : int }
+  | Flow_mod of Flow_table.flow_mod
+  | Packet_in of { in_port : int; frame : Net.Ethernet.frame }
+  | Packet_out of { actions : Action.t list; frame : Net.Ethernet.frame }
+  | Barrier_request of int
+  | Barrier_reply of int
+
+let pp ppf = function
+  | Hello -> Fmt.string ppf "HELLO"
+  | Echo_request xid -> Fmt.pf ppf "ECHO_REQUEST xid=%d" xid
+  | Echo_reply xid -> Fmt.pf ppf "ECHO_REPLY xid=%d" xid
+  | Features_request -> Fmt.string ppf "FEATURES_REQUEST"
+  | Features_reply { datapath_id; n_ports } ->
+    Fmt.pf ppf "FEATURES_REPLY dpid=%Ld ports=%d" datapath_id n_ports
+  | Flow_mod fm ->
+    let cmd =
+      match fm.Flow_table.command with
+      | Flow_table.Add -> "ADD"
+      | Flow_table.Modify -> "MODIFY"
+      | Flow_table.Modify_strict -> "MODIFY_STRICT"
+      | Flow_table.Delete -> "DELETE"
+      | Flow_table.Delete_strict -> "DELETE_STRICT"
+    in
+    Fmt.pf ppf "FLOW_MOD %s prio=%d %a -> %a" cmd fm.Flow_table.fm_priority
+      Ofmatch.pp fm.Flow_table.fm_match Action.pp_list fm.Flow_table.fm_actions
+  | Packet_in { in_port; frame } ->
+    Fmt.pf ppf "PACKET_IN port=%d %a" in_port Net.Ethernet.pp frame
+  | Packet_out { actions; frame } ->
+    Fmt.pf ppf "PACKET_OUT %a %a" Action.pp_list actions Net.Ethernet.pp frame
+  | Barrier_request xid -> Fmt.pf ppf "BARRIER_REQUEST xid=%d" xid
+  | Barrier_reply xid -> Fmt.pf ppf "BARRIER_REPLY xid=%d" xid

@@ -1,0 +1,20 @@
+(** OpenFlow controller-switch messages (the OF 1.0 subset the system
+    uses). *)
+
+type t =
+  | Hello
+  | Echo_request of int  (** xid *)
+  | Echo_reply of int
+  | Features_request
+  | Features_reply of { datapath_id : int64; n_ports : int }
+  | Flow_mod of Flow_table.flow_mod
+  | Packet_in of { in_port : int; frame : Net.Ethernet.frame }
+      (** table-miss or explicit punt to the controller *)
+  | Packet_out of { actions : Action.t list; frame : Net.Ethernet.frame }
+      (** controller-originated transmission, e.g. the ARP replies the
+          supercharger sends for virtual next-hops *)
+  | Barrier_request of int  (** xid *)
+  | Barrier_reply of int
+      (** sent after every earlier flow-mod has been applied *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,124 @@
+type t = {
+  in_port : int option;
+  dl_src : Net.Mac.t option;
+  dl_dst : Net.Mac.t option;
+  dl_type : int option;
+  nw_src : Net.Prefix.t option;
+  nw_dst : Net.Prefix.t option;
+  nw_proto : int option;
+  tp_src : int option;
+  tp_dst : int option;
+}
+
+let any =
+  {
+    in_port = None;
+    dl_src = None;
+    dl_dst = None;
+    dl_type = None;
+    nw_src = None;
+    nw_dst = None;
+    nw_proto = None;
+    tp_src = None;
+    tp_dst = None;
+  }
+
+let dl_dst mac = { any with dl_dst = Some mac }
+
+let make ?in_port ?dl_src ?dl_dst ?dl_type ?nw_src ?nw_dst ?nw_proto ?tp_src
+    ?tp_dst () =
+  { in_port; dl_src; dl_dst; dl_type; nw_src; nw_dst; nw_proto; tp_src; tp_dst }
+
+type context = {
+  arrival_port : int;
+  frame : Net.Ethernet.frame;
+}
+
+(* For ARP frames, OpenFlow 1.0 overlays the network fields: nw_src/nw_dst
+   are the ARP sender/target addresses and nw_proto is the opcode. *)
+let ip_fields (frame : Net.Ethernet.frame) =
+  match frame.payload with
+  | Net.Ethernet.Ipv4 p ->
+    let proto = Net.Ipv4_packet.protocol_number p in
+    let tp =
+      match p.payload with
+      | Net.Ipv4_packet.Udp u -> Some (u.Net.Udp.src_port, u.Net.Udp.dst_port)
+      | Net.Ipv4_packet.Raw _ -> None
+    in
+    Some (p.src, p.dst, proto, tp)
+  | Net.Ethernet.Arp a ->
+    let opcode = match a.op with Net.Arp.Request -> 1 | Net.Arp.Reply -> 2 in
+    Some (a.sender_ip, a.target_ip, opcode, None)
+
+let field_ok check = function None -> true | Some expected -> check expected
+
+let matches t ctx =
+  let frame = ctx.frame in
+  field_ok (fun p -> p = ctx.arrival_port) t.in_port
+  && field_ok (fun m -> Net.Mac.equal m frame.src) t.dl_src
+  && field_ok (fun m -> Net.Mac.equal m frame.dst) t.dl_dst
+  && field_ok (fun ty -> ty = Net.Ethernet.ethertype frame) t.dl_type
+  &&
+  match ip_fields frame with
+  | None ->
+    t.nw_src = None && t.nw_dst = None && t.nw_proto = None && t.tp_src = None
+    && t.tp_dst = None
+  | Some (src, dst, proto, tp) ->
+    field_ok (fun p -> Net.Prefix.mem src p) t.nw_src
+    && field_ok (fun p -> Net.Prefix.mem dst p) t.nw_dst
+    && field_ok (fun pr -> pr = proto) t.nw_proto
+    && field_ok
+         (fun port -> match tp with Some (s, _) -> s = port | None -> false)
+         t.tp_src
+    && field_ok
+         (fun port -> match tp with Some (_, d) -> d = port | None -> false)
+         t.tp_dst
+
+let equal a b =
+  Option.equal Int.equal a.in_port b.in_port
+  && Option.equal Net.Mac.equal a.dl_src b.dl_src
+  && Option.equal Net.Mac.equal a.dl_dst b.dl_dst
+  && Option.equal Int.equal a.dl_type b.dl_type
+  && Option.equal Net.Prefix.equal a.nw_src b.nw_src
+  && Option.equal Net.Prefix.equal a.nw_dst b.nw_dst
+  && Option.equal Int.equal a.nw_proto b.nw_proto
+  && Option.equal Int.equal a.tp_src b.tp_src
+  && Option.equal Int.equal a.tp_dst b.tp_dst
+
+let subsumes a b =
+  let field eq fa fb =
+    match fa, fb with
+    | None, _ -> true
+    | Some _, None -> false
+    | Some va, Some vb -> eq va vb
+  in
+  let prefix_covers pa pb = Net.Prefix.subset pb pa in
+  field Int.equal a.in_port b.in_port
+  && field Net.Mac.equal a.dl_src b.dl_src
+  && field Net.Mac.equal a.dl_dst b.dl_dst
+  && field Int.equal a.dl_type b.dl_type
+  && field prefix_covers a.nw_src b.nw_src
+  && field prefix_covers a.nw_dst b.nw_dst
+  && field Int.equal a.nw_proto b.nw_proto
+  && field Int.equal a.tp_src b.tp_src
+  && field Int.equal a.tp_dst b.tp_dst
+
+let is_any t = equal t any
+
+let pp ppf t =
+  let field name pp_v ppf = function
+    | Some v -> Fmt.pf ppf "%s=%a " name pp_v v
+    | None -> ()
+  in
+  if is_any t then Fmt.string ppf "*"
+  else begin
+    field "in_port" Fmt.int ppf t.in_port;
+    field "dl_src" Net.Mac.pp ppf t.dl_src;
+    field "dl_dst" Net.Mac.pp ppf t.dl_dst;
+    field "dl_type" (fun ppf -> Fmt.pf ppf "0x%04x") ppf t.dl_type;
+    field "nw_src" Net.Prefix.pp ppf t.nw_src;
+    field "nw_dst" Net.Prefix.pp ppf t.nw_dst;
+    field "nw_proto" Fmt.int ppf t.nw_proto;
+    field "tp_src" Fmt.int ppf t.tp_src;
+    field "tp_dst" Fmt.int ppf t.tp_dst
+  end

@@ -1,0 +1,62 @@
+(** OpenFlow 1.0-style match structure.
+
+    Every field is optional; [None] wildcards it. The supercharger only
+    ever matches on [dl_dst] (the backup-group VMAC), but the table
+    implements the full structure so the switch is a general OpenFlow
+    model. *)
+
+type t = {
+  in_port : int option;
+  dl_src : Net.Mac.t option;
+  dl_dst : Net.Mac.t option;
+  dl_type : int option;  (** ethertype *)
+  nw_src : Net.Prefix.t option;
+      (** for ARP frames this is the sender address (OF 1.0 overlay) *)
+  nw_dst : Net.Prefix.t option;
+      (** for ARP frames this is the target address *)
+  nw_proto : int option;
+      (** IP protocol number; for ARP frames, the opcode (1 = request,
+          2 = reply), per the OF 1.0 overlay *)
+  tp_src : int option;
+  tp_dst : int option;
+}
+
+val any : t
+(** All fields wildcarded: the table-miss match. *)
+
+val dl_dst : Net.Mac.t -> t
+(** Match solely on destination MAC — the paper's rule shape. *)
+
+val make :
+  ?in_port:int ->
+  ?dl_src:Net.Mac.t ->
+  ?dl_dst:Net.Mac.t ->
+  ?dl_type:int ->
+  ?nw_src:Net.Prefix.t ->
+  ?nw_dst:Net.Prefix.t ->
+  ?nw_proto:int ->
+  ?tp_src:int ->
+  ?tp_dst:int ->
+  unit ->
+  t
+
+(** What a packet looks like to the matching pipeline. *)
+type context = {
+  arrival_port : int;
+  frame : Net.Ethernet.frame;
+}
+
+val matches : t -> context -> bool
+
+val equal : t -> t -> bool
+(** Structural equality — what OFPFC_ADD/STRICT commands compare. *)
+
+val subsumes : t -> t -> bool
+(** [subsumes a b] iff every packet matched by [b] is matched by [a] —
+    field-wise: [a] wildcards the field, or both pin it compatibly
+    (prefix fields: [a]'s prefix covers [b]'s). This is the OF 1.0
+    semantics of the {e non-strict} Modify/Delete commands. *)
+
+val is_any : t -> bool
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/router/adjacency.ml: Fmt Net

@@ -1,0 +1,1 @@
+lib/router/adjacency.mli: Format Net

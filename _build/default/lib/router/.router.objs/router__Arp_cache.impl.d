@@ -1,0 +1,1 @@
+lib/router/arp_cache.ml: Hashtbl List Net Sim

@@ -1,0 +1,1 @@
+lib/router/arp_cache.mli: Net Sim

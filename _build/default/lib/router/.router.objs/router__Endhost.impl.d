@@ -1,0 +1,1 @@
+lib/router/endhost.ml: Arp_cache Net Sim

@@ -1,0 +1,1 @@
+lib/router/endhost.mli: Net Sim

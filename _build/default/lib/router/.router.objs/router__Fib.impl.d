@@ -1,0 +1,1 @@
+lib/router/fib.ml: Adjacency Fmt Net Queue Sim

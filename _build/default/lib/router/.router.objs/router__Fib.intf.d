@@ -1,0 +1,1 @@
+lib/router/fib.mli: Adjacency Format Net Sim

@@ -1,0 +1,1 @@
+lib/router/legacy.ml: Adjacency Arp_cache Array Bfd Bgp Fib Fmt Hashtbl Int32 List Net Sim

@@ -1,0 +1,1 @@
+lib/router/legacy.mli: Bfd Bgp Fib Net Sim

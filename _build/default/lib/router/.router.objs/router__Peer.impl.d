@@ -1,0 +1,1 @@
+lib/router/peer.ml: Bfd Bgp Fmt Hashtbl Int32 List Net Sim

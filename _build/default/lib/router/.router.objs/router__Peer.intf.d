@@ -1,0 +1,1 @@
+lib/router/peer.mli: Bgp Net Sim

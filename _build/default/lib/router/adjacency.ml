@@ -1,0 +1,10 @@
+type t = {
+  interface : int;
+  mac : Net.Mac.t;
+}
+
+let make ~interface ~mac = { interface; mac }
+
+let equal a b = a.interface = b.interface && Net.Mac.equal a.mac b.mac
+
+let pp ppf t = Fmt.pf ppf "(%a, if%d)" Net.Mac.pp t.mac t.interface

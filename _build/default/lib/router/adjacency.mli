@@ -1,0 +1,14 @@
+(** L2 next-hop entries — what a flat FIB maps every prefix to.
+
+    In the paper's Fig. 1, each of the 512 k FIB entries carries one of
+    these (MAC of the chosen next-hop + output interface); that is
+    precisely why failover must rewrite them all. *)
+
+type t = {
+  interface : int;  (** output interface index *)
+  mac : Net.Mac.t;  (** destination MAC of the L2 next-hop *)
+}
+
+val make : interface:int -> mac:Net.Mac.t -> t
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

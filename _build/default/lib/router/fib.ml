@@ -1,0 +1,74 @@
+type op =
+  | Set of Net.Prefix.t * Adjacency.t
+  | Remove of Net.Prefix.t
+
+let pp_op ppf = function
+  | Set (p, adj) -> Fmt.pf ppf "set %a -> %a" Net.Prefix.pp p Adjacency.pp adj
+  | Remove p -> Fmt.pf ppf "remove %a" Net.Prefix.pp p
+
+type t = {
+  engine : Sim.Engine.t;
+  name : string;
+  batch_start_latency : Sim.Time.t;
+  per_entry_latency : Sim.Time.t;
+  table : Adjacency.t Net.Lpm.t;
+  queue : op Queue.t;
+  mutable busy : bool;
+  mutable applied : int;
+  mutable observer : (op -> unit) option;
+}
+
+let create engine ?(name = "fib") ?(batch_start_latency = Sim.Time.of_ms 280)
+    ?(per_entry_latency = Sim.Time.of_us 281) () =
+  {
+    engine;
+    name;
+    batch_start_latency;
+    per_entry_latency;
+    table = Net.Lpm.create ();
+    queue = Queue.create ();
+    busy = false;
+    applied = 0;
+    observer = None;
+  }
+
+let apply t op =
+  (match op with
+  | Set (prefix, adj) -> Net.Lpm.insert t.table prefix adj
+  | Remove prefix -> Net.Lpm.remove t.table prefix);
+  t.applied <- t.applied + 1;
+  Sim.Trace.emitf (Sim.Engine.trace t.engine) (Sim.Engine.now t.engine)
+    ~category:"fib" "%s: %a" t.name pp_op op;
+  match t.observer with Some f -> f op | None -> ()
+
+let rec process_next t =
+  match Queue.take_opt t.queue with
+  | None -> t.busy <- false
+  | Some op ->
+    ignore
+      (Sim.Engine.schedule_after t.engine t.per_entry_latency (fun () ->
+           apply t op;
+           process_next t))
+
+let enqueue t op =
+  Queue.add op t.queue;
+  if not t.busy then begin
+    t.busy <- true;
+    ignore
+      (Sim.Engine.schedule_after t.engine t.batch_start_latency (fun () ->
+           process_next t))
+  end
+
+let lookup t addr =
+  match Net.Lpm.lookup t.table addr with
+  | Some (_prefix, adj) -> Some adj
+  | None -> None
+
+let on_applied t f = t.observer <- Some f
+
+let size t = Net.Lpm.cardinal t.table
+let pending t = Queue.length t.queue
+let applied_count t = t.applied
+let is_busy t = t.busy
+
+let entries t = Net.Lpm.to_list t.table

@@ -1,0 +1,56 @@
+(** Discrete-event simulation engine.
+
+    A single-threaded event loop over a virtual clock. Events scheduled
+    for the same instant run in scheduling (FIFO) order, which makes every
+    simulation deterministic given its seed — the property the paper's
+    controller-replication argument (§3) depends on, and which the
+    [Supercharger.Replica] tests exercise. *)
+
+type t
+
+type handle
+(** A scheduled event, usable for cancellation. *)
+
+val create : ?seed:int64 -> ?trace:Trace.t -> unit -> t
+(** [create ()] is a fresh engine at time {!Time.zero}. [seed] (default
+    [1L]) seeds the engine's root {!Rng}; [trace] (default a fresh enabled
+    trace) receives component events. *)
+
+val now : t -> Time.t
+
+val rng : t -> Rng.t
+(** The engine's root generator. Components should [Rng.split] it at
+    set-up time rather than drawing from it during the run. *)
+
+val trace : t -> Trace.t
+
+val schedule_at : t -> Time.t -> (unit -> unit) -> handle
+(** [schedule_at t instant f] runs [f] when the clock reaches [instant].
+    Scheduling in the past (or at the current instant) runs [f] at the
+    current time, after all previously scheduled current-time events. *)
+
+val schedule_after : t -> Time.t -> (unit -> unit) -> handle
+(** [schedule_after t delay f] is
+    [schedule_at t (Time.add (now t) delay) f]. [delay] must not be
+    negative. *)
+
+val cancel : handle -> unit
+(** Cancelling an already-run or already-cancelled event is a no-op. *)
+
+val every : t -> ?start:Time.t -> interval:Time.t -> (unit -> unit) -> handle
+(** [every t ~interval f] runs [f] at [start] (default [now + interval])
+    and then each [interval] until the returned handle is cancelled. *)
+
+val run : ?until:Time.t -> ?max_events:int -> t -> unit
+(** Processes events in time order until the queue is empty, the clock
+    would pass [until], or [max_events] have run. Events scheduled exactly
+    at [until] are processed. *)
+
+val step : t -> bool
+(** Processes a single event. [false] if the queue was empty. *)
+
+val pending : t -> int
+(** Number of queued (non-cancelled) events. *)
+
+val events_processed : t -> int
+(** Total events run since creation; a cheap progress/cost metric. *)

@@ -1,0 +1,88 @@
+(* Array-backed binary min-heap. Each element carries the sequence number
+   of its push so that equal-priority elements pop in FIFO order. *)
+
+type 'a cell = { value : 'a; seq : int }
+
+type 'a t = {
+  cmp : 'a -> 'a -> int;
+  mutable cells : 'a cell array;
+  mutable size : int;
+  mutable next_seq : int;
+}
+
+let create ~cmp () = { cmp; cells = [||]; size = 0; next_seq = 0 }
+
+let cell_lt h a b =
+  let c = h.cmp a.value b.value in
+  if c <> 0 then c < 0 else a.seq < b.seq
+
+(* [fill] seeds fresh slots so no dummy value is ever fabricated; slots
+   beyond [size] are never read. *)
+let grow h fill =
+  let cap = Array.length h.cells in
+  if h.size >= cap then begin
+    let new_cap = if cap = 0 then 16 else cap * 2 in
+    let fresh = Array.make new_cap fill in
+    Array.blit h.cells 0 fresh 0 h.size;
+    h.cells <- fresh
+  end
+
+let rec sift_up h i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if cell_lt h h.cells.(i) h.cells.(parent) then begin
+      let tmp = h.cells.(i) in
+      h.cells.(i) <- h.cells.(parent);
+      h.cells.(parent) <- tmp;
+      sift_up h parent
+    end
+  end
+
+let rec sift_down h i =
+  let left = (2 * i) + 1 and right = (2 * i) + 2 in
+  let smallest = ref i in
+  if left < h.size && cell_lt h h.cells.(left) h.cells.(!smallest) then
+    smallest := left;
+  if right < h.size && cell_lt h h.cells.(right) h.cells.(!smallest) then
+    smallest := right;
+  if !smallest <> i then begin
+    let tmp = h.cells.(i) in
+    h.cells.(i) <- h.cells.(!smallest);
+    h.cells.(!smallest) <- tmp;
+    sift_down h !smallest
+  end
+
+let push h value =
+  let cell = { value; seq = h.next_seq } in
+  grow h cell;
+  h.cells.(h.size) <- cell;
+  h.next_seq <- h.next_seq + 1;
+  h.size <- h.size + 1;
+  sift_up h (h.size - 1)
+
+let pop h =
+  if h.size = 0 then None
+  else begin
+    let top = h.cells.(0) in
+    h.size <- h.size - 1;
+    if h.size > 0 then begin
+      h.cells.(0) <- h.cells.(h.size);
+      sift_down h 0
+    end;
+    Some top.value
+  end
+
+let peek h = if h.size = 0 then None else Some h.cells.(0).value
+
+let size h = h.size
+let is_empty h = h.size = 0
+
+let clear h =
+  h.size <- 0;
+  h.cells <- [||]
+
+let to_list h =
+  let rec collect i acc =
+    if i < 0 then acc else collect (i - 1) (h.cells.(i).value :: acc)
+  in
+  collect (h.size - 1) []

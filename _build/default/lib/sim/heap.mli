@@ -1,0 +1,27 @@
+(** Mutable binary min-heap.
+
+    The event queue of the simulation engine. Elements are ordered by a
+    comparison function supplied at creation; ties are broken by insertion
+    order (FIFO), which the engine relies on for deterministic scheduling
+    of simultaneous events. *)
+
+type 'a t
+
+val create : cmp:('a -> 'a -> int) -> unit -> 'a t
+(** [create ~cmp ()] is an empty heap ordered by [cmp]. Among elements
+    that compare equal, the one pushed first pops first. *)
+
+val push : 'a t -> 'a -> unit
+
+val pop : 'a t -> 'a option
+(** Removes and returns the minimum, or [None] if empty. *)
+
+val peek : 'a t -> 'a option
+
+val size : 'a t -> int
+val is_empty : 'a t -> bool
+
+val clear : 'a t -> unit
+
+val to_list : 'a t -> 'a list
+(** Snapshot in heap-internal (not sorted) order; for tests and debugging. *)

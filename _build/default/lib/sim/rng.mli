@@ -1,0 +1,37 @@
+(** Deterministic pseudo-random number generator (splitmix64).
+
+    The engine and all workload generators draw from instances of this
+    generator so that an experiment is fully determined by its seed. The
+    standard library's [Random] is deliberately not used: its state is
+    global and its sequence is not guaranteed stable across OCaml
+    releases. *)
+
+type t
+
+val create : seed:int64 -> t
+
+val copy : t -> t
+(** Independent generator starting from the same state. *)
+
+val split : t -> t
+(** [split t] advances [t] and returns a new generator whose stream is
+    statistically independent of [t]'s subsequent output. Used to give
+    each simulation component its own stream so that adding draws in one
+    component does not perturb another. *)
+
+val int64 : t -> int64
+(** Next raw 64-bit value. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)]. Requires [bound > 0]. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [\[0, bound)]. *)
+
+val bool : t -> bool
+
+val pick : t -> 'a array -> 'a
+(** Uniform element of a non-empty array. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates shuffle. *)

@@ -1,0 +1,44 @@
+type entry = {
+  time : Time.t;
+  category : string;
+  message : string;
+}
+
+type t = {
+  mutable events : entry list; (* reversed *)
+  mutable count : int;
+  mutable on : bool;
+}
+
+let create ?capacity_hint:_ () = { events = []; count = 0; on = true }
+
+let enabled t = t.on
+let set_enabled t on = t.on <- on
+
+let emit t time ~category message =
+  if t.on then begin
+    t.events <- { time; category; message } :: t.events;
+    t.count <- t.count + 1
+  end
+
+let emitf t time ~category fmt =
+  if t.on then
+    Format.kasprintf (fun message -> emit t time ~category message) fmt
+  else Format.ikfprintf (fun _ -> ()) Format.str_formatter fmt
+
+let entries t = List.rev t.events
+
+let find t ~category =
+  List.filter (fun e -> String.equal e.category category) (entries t)
+
+let length t = t.count
+
+let clear t =
+  t.events <- [];
+  t.count <- 0
+
+let pp_entry ppf e =
+  Fmt.pf ppf "[%a] %-10s %s" Time.pp e.time e.category e.message
+
+let pp ppf t =
+  List.iter (fun e -> Fmt.pf ppf "%a@." pp_entry e) (entries t)

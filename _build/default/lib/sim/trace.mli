@@ -1,0 +1,40 @@
+(** Simulation event trace.
+
+    A lightweight, allocation-conscious log of what happened and when.
+    Components emit one-line events tagged with a category ("bgp",
+    "bfd", "fib", "openflow", ...); experiments and tests inspect the
+    trace to assert ordering properties, and the examples print it. *)
+
+type entry = {
+  time : Time.t;
+  category : string;
+  message : string;
+}
+
+type t
+
+val create : ?capacity_hint:int -> unit -> t
+
+val enabled : t -> bool
+val set_enabled : t -> bool -> unit
+(** Disabling makes [emit] a no-op; large experiments run with tracing
+    off to avoid accumulating millions of entries. *)
+
+val emit : t -> Time.t -> category:string -> string -> unit
+
+val emitf :
+  t -> Time.t -> category:string -> ('a, Format.formatter, unit, unit) format4 -> 'a
+(** Formatted emission. The format arguments are only evaluated when the
+    trace is enabled. *)
+
+val entries : t -> entry list
+(** All entries in emission order. *)
+
+val find : t -> category:string -> entry list
+(** Entries of one category, in emission order. *)
+
+val length : t -> int
+val clear : t -> unit
+
+val pp_entry : Format.formatter -> entry -> unit
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/trafficgen/flow.ml: Fmt Net Sim

@@ -1,0 +1,1 @@
+lib/trafficgen/flow.mli: Format Net Sim

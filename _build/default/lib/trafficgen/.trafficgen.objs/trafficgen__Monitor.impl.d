@@ -1,0 +1,1 @@
+lib/trafficgen/monitor.ml: Array Flow List Net Sim Sink

@@ -1,0 +1,1 @@
+lib/trafficgen/monitor.mli: Flow Net Sim Sink

@@ -1,0 +1,1 @@
+lib/trafficgen/sink.ml: Array Flow Hashtbl Net Sim

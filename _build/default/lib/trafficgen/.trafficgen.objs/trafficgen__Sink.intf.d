@@ -1,0 +1,1 @@
+lib/trafficgen/sink.mli: Flow Net Sim

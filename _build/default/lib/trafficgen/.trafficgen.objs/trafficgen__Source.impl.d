@@ -1,0 +1,1 @@
+lib/trafficgen/source.ml: Array Flow Sim

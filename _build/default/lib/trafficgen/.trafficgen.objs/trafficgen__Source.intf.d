@@ -1,0 +1,1 @@
+lib/trafficgen/source.mli: Flow Sim

@@ -1,0 +1,11 @@
+type t = {
+  index : int;
+  dst : Net.Ipv4.t;
+}
+
+let grid_default = Sim.Time.of_us 70
+
+(* 64-byte frame = 14 eth + 20 ip + 8 udp + payload. *)
+let payload_size_default = 64 - 14 - 20 - 8
+
+let pp ppf t = Fmt.pf ppf "flow#%d->%a" t.index Net.Ipv4.pp t.dst

@@ -1,0 +1,16 @@
+(** A monitored flow: one of the 100 destination addresses the paper's
+    FPGA source streams 64-byte UDP packets to. *)
+
+type t = {
+  index : int;  (** dense flow id, 0-based *)
+  dst : Net.Ipv4.t;
+}
+
+val grid_default : Sim.Time.t
+(** 70 µs — the paper's per-flow inter-packet interval (14 k pkt/s),
+    which is also its measurement precision. *)
+
+val payload_size_default : int
+(** The UDP payload that makes the frame 64 bytes on the wire. *)
+
+val pp : Format.formatter -> t -> unit

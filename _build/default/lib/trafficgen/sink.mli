@@ -1,0 +1,35 @@
+(** The sink FPGA: per-flow arrival bookkeeping.
+
+    Matches arriving packets against a CAM of expected destination
+    addresses and tracks, per flow, the arrival count, the last arrival
+    time, and the maximum inter-arrival gap — the quantity Fig. 5 is
+    built from (in dense traffic mode the max gap {e is} the measured
+    convergence time plus one send interval). *)
+
+type t
+
+val create : Sim.Engine.t -> flows:Flow.t array -> t
+
+val deliver : t -> Net.Ipv4.t -> unit
+(** Feed an arriving packet's destination address; non-matching
+    addresses count as strays. Timestamps come from the engine clock. *)
+
+val deliver_packet : t -> Net.Ipv4_packet.t -> unit
+
+val on_delivery : t -> (Flow.t -> unit) -> unit
+(** Observer fired for each matched arrival (the event-driven monitor
+    hooks this). *)
+
+val arrivals : t -> int -> int
+(** Packets received for flow [index]. *)
+
+val last_arrival : t -> int -> Sim.Time.t option
+val max_gap : t -> int -> Sim.Time.t
+(** Zero until at least two packets arrived. *)
+
+val strays : t -> int
+val total : t -> int
+
+val reset_gaps : t -> unit
+(** Clears gap statistics (not counts) — called when the measured phase
+    starts so warm-up gaps don't pollute the result. *)

@@ -1,0 +1,28 @@
+(** The source FPGA in dense mode: a continuous 64-byte UDP stream to
+    every flow, one packet per flow per grid interval.
+
+    Dense mode simulates every packet through the full data plane; it is
+    exact but costs one event per packet, so it is used by the tests,
+    the examples, and the equivalence check against the event-driven
+    {!Monitor}. The big Fig. 5 sweeps use the monitor instead. *)
+
+type t
+
+val create :
+  Sim.Engine.t ->
+  ?grid:Sim.Time.t ->
+  flows:Flow.t array ->
+  send:(Flow.t -> unit) ->
+  unit ->
+  t
+(** [send] injects one packet for the flow into the data plane (the lab
+    binds it to the source host's link). [grid] defaults to
+    {!Flow.grid_default}. *)
+
+val start : t -> unit
+(** Begins streaming: each flow sends at every multiple of the grid
+    (all flows share grid phase, like the FPGA's round-robin DMA). *)
+
+val stop : t -> unit
+
+val packets_sent : t -> int

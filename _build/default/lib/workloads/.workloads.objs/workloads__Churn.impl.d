@@ -1,0 +1,1 @@
+lib/workloads/churn.ml: Array Bgp Feed List Rib_gen Sim

@@ -1,0 +1,1 @@
+lib/workloads/churn.mli: Bgp Net Rib_gen

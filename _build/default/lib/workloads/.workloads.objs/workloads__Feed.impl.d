@@ -1,0 +1,1 @@
+lib/workloads/feed.ml: List Sim

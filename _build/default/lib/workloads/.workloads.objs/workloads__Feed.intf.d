@@ -1,0 +1,1 @@
+lib/workloads/feed.mli: Bgp Sim

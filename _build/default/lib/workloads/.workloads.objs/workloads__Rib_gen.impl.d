@@ -1,0 +1,1 @@
+lib/workloads/rib_gen.ml: Array Bgp Fmt Int64 List Net Sim

@@ -1,0 +1,1 @@
+lib/workloads/rib_gen.mli: Bgp Format Net

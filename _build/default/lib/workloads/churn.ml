@@ -1,0 +1,39 @@
+type event = {
+  peer : int;
+  update : Bgp.Message.update;
+}
+
+let full_table_race ~seed ~count ~next_hops ~asns =
+  if Array.length next_hops <> Array.length asns || Array.length next_hops = 0 then
+    invalid_arg "Churn.full_table_race: need matching non-empty peer arrays";
+  let entries = Rib_gen.generate ~seed ~count in
+  let feeds =
+    Array.to_list
+      (Array.mapi
+         (fun peer nh ->
+           List.map
+             (fun u -> { peer; update = u })
+             (Rib_gen.to_updates entries ~speaker_asn:asns.(peer) ~next_hop:nh))
+         next_hops)
+  in
+  List.fold_left Feed.interleave [] feeds
+
+let flap ~seed ~entries ~rounds ~next_hop ~asn ~peer =
+  let rng = Sim.Rng.create ~seed in
+  let n = Array.length entries in
+  let events = ref [] in
+  for _ = 1 to rounds do
+    let (victim : Rib_gen.entry) = entries.(Sim.Rng.int rng n) in
+    events :=
+      { peer; update = { Bgp.Message.withdrawn = [victim.prefix]; attrs = None; nlri = [] } }
+      :: !events;
+    let attrs =
+      Bgp.Attributes.make
+        ~as_path:[Bgp.Attributes.Seq (asn :: victim.as_path)]
+        ?med:victim.med ~next_hop ()
+    in
+    events :=
+      { peer; update = { Bgp.Message.withdrawn = []; attrs = Some attrs; nlri = [victim.prefix] } }
+      :: !events
+  done;
+  List.rev !events

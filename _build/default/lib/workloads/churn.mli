@@ -1,0 +1,18 @@
+(** BGP churn traces — update streams beyond the initial table load,
+    used by the controller micro-benchmark and the stress tests. *)
+
+type event = {
+  peer : int;  (** which of the trace's peers sends it *)
+  update : Bgp.Message.update;
+}
+
+val full_table_race : seed:int64 -> count:int -> next_hops:Net.Ipv4.t array ->
+  asns:Bgp.Asn.t array -> event list
+(** The paper's micro-benchmark workload: every peer announces the same
+    [count]-entry table (same prefixes, peer-specific paths), arrivals
+    interleaved — "two times 500 K updates from two different peers". *)
+
+val flap : seed:int64 -> entries:Rib_gen.entry array -> rounds:int ->
+  next_hop:Net.Ipv4.t -> asn:Bgp.Asn.t -> peer:int -> event list
+(** Announce/withdraw churn: each round withdraws a random subset and
+    re-announces it, exercising Listing 1's withdraw paths. *)

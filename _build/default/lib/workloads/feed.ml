@@ -1,0 +1,26 @@
+let replay engine ~updates ?(batch = 500) ?(interval = Sim.Time.of_ms 1)
+    ?on_done ~send () =
+  if batch <= 0 then invalid_arg "Feed.replay: batch";
+  let rec step remaining () =
+    let rec send_batch n remaining =
+      if n = 0 then remaining
+      else
+        match remaining with
+        | [] -> []
+        | u :: rest ->
+          send u;
+          send_batch (n - 1) rest
+    in
+    match send_batch batch remaining with
+    | [] -> ( match on_done with Some f -> f () | None -> ())
+    | rest -> ignore (Sim.Engine.schedule_after engine interval (step rest))
+  in
+  ignore (Sim.Engine.schedule_after engine Sim.Time.zero (step updates))
+
+let interleave a b =
+  let rec go a b acc =
+    match a, b with
+    | [], rest | rest, [] -> List.rev_append acc rest
+    | x :: a', y :: b' -> go a' b' (y :: x :: acc)
+  in
+  go a b []

@@ -1,0 +1,22 @@
+(** Paced replay of a BGP feed.
+
+    Real peers do not deliver half a million updates in one instant;
+    the replayer sends them in batches on a timer, modelling the
+    sustained update rate of a full-table transfer. *)
+
+val replay :
+  Sim.Engine.t ->
+  updates:Bgp.Message.update list ->
+  ?batch:int ->
+  ?interval:Sim.Time.t ->
+  ?on_done:(unit -> unit) ->
+  send:(Bgp.Message.update -> unit) ->
+  unit ->
+  unit
+(** Defaults: [batch] 500 updates every [interval] 1 ms (≈500 k
+    updates/s — a fast full-table dump). [on_done] fires after the last
+    batch is handed to [send]. *)
+
+val interleave : 'a list -> 'a list -> 'a list
+(** Alternates elements of two lists (tail appended when lengths
+    differ) — the arrival pattern of two peers feeding concurrently. *)

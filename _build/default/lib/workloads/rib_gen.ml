@@ -1,0 +1,65 @@
+type entry = {
+  prefix : Net.Prefix.t;
+  as_path : Bgp.Asn.t list;
+  med : int option;
+}
+
+(* Cumulative prefix-length distribution, loosely matching the public
+   IPv4 table (CIDR report): mostly /24s, a thin tail of shorter
+   prefixes. The tail is capped at /16 so that 600 k sequentially
+   allocated entries fit inside the 32-bit space with room to spare. *)
+let length_table =
+  [|
+    (24, 0.55); (23, 0.65); (22, 0.77); (21, 0.84); (20, 0.90);
+    (19, 0.95); (18, 0.97); (17, 0.98); (16, 1.00);
+  |]
+
+let sample_length rng =
+  let x = Sim.Rng.float rng 1.0 in
+  let rec pick i =
+    if i >= Array.length length_table - 1 then fst length_table.(i)
+    else if x < snd length_table.(i) then fst length_table.(i)
+    else pick (i + 1)
+  in
+  pick 0
+
+let sample_as_path rng =
+  let len = 1 + Sim.Rng.int rng 5 in
+  List.init len (fun _ -> Bgp.Asn.of_int (3000 + Sim.Rng.int rng 60000))
+
+let generate ~seed ~count =
+  if count < 0 || count > 600_000 then invalid_arg "Rib_gen.generate: count";
+  let rng = Sim.Rng.create ~seed in
+  let cursor = ref (Int64.of_int (Net.Ipv4.diff (Net.Ipv4.of_octets 1 0 0 0) Net.Ipv4.any)) in
+  Array.init count (fun _ ->
+      let len = sample_length rng in
+      let size = Int64.of_int (1 lsl (32 - len)) in
+      (* Align the cursor up to the prefix's natural boundary. *)
+      let aligned =
+        let rem = Int64.rem !cursor size in
+        if Int64.equal rem 0L then !cursor else Int64.add !cursor (Int64.sub size rem)
+      in
+      cursor := Int64.add aligned size;
+      if Int64.compare !cursor 0xFFFF_0000L > 0 then
+        failwith "Rib_gen.generate: address space exhausted";
+      let prefix = Net.Prefix.make (Net.Ipv4.of_int32 (Int64.to_int32 aligned)) len in
+      let med = if Sim.Rng.int rng 10 = 0 then Some (Sim.Rng.int rng 100) else None in
+      { prefix; as_path = sample_as_path rng; med })
+
+let to_updates entries ~speaker_asn ~next_hop =
+  Array.fold_right
+    (fun e acc ->
+      let attrs =
+        Bgp.Attributes.make
+          ~as_path:[Bgp.Attributes.Seq (speaker_asn :: e.as_path)]
+          ?med:e.med ~next_hop ()
+      in
+      { Bgp.Message.withdrawn = []; attrs = Some attrs; nlri = [e.prefix] } :: acc)
+    entries []
+
+let pp_entry ppf e =
+  Fmt.pf ppf "%a path=[%a]%a" Net.Prefix.pp e.prefix
+    Fmt.(list ~sep:sp Bgp.Asn.pp)
+    e.as_path
+    Fmt.(option (fun ppf m -> Fmt.pf ppf " med=%d" m))
+    e.med

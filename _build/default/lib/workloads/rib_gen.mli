@@ -1,0 +1,29 @@
+(** Synthetic Internet routing table generator — the stand-in for the
+    RIPE RIS feed the paper loads into R2 and R3.
+
+    Tables are deterministic in the seed: prefixes are allocated
+    sequentially from 1.0.0.0 upward (guaranteeing uniqueness up to the
+    ~512 k the paper uses) with a prefix-length mix approximating the
+    real IPv4 table (≈55 % /24s), and AS paths of realistic length.
+    What the experiments actually depend on is table {e size} and the
+    sharing of next hops across prefixes; both are preserved. *)
+
+type entry = {
+  prefix : Net.Prefix.t;
+  as_path : Bgp.Asn.t list;  (** origin path, without the announcing peer *)
+  med : int option;
+}
+
+val generate : seed:int64 -> count:int -> entry array
+(** [count] unique entries. @raise Invalid_argument beyond 600 k entries
+    (the sequential allocator would wrap the 32-bit address space). *)
+
+val to_updates :
+  entry array ->
+  speaker_asn:Bgp.Asn.t ->
+  next_hop:Net.Ipv4.t ->
+  Bgp.Message.update list
+(** One UPDATE per entry, as a peer would originate them: the speaker's
+    ASN prepended to the stored path, NEXT_HOP set to the speaker. *)
+
+val pp_entry : Format.formatter -> entry -> unit

@@ -1,0 +1,1 @@
+test/test_bfd.ml: Alcotest Bfd Bytes Fmt List Net Sim String

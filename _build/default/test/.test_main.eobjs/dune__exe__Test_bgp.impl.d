@@ -1,0 +1,1 @@
+test/test_bgp.ml: Alcotest Asn Attributes Bgp Bytes Channel Codec Decision Fmt Int32 List Message Net Option QCheck QCheck_alcotest Rib Route Session Sim Speaker Stream String

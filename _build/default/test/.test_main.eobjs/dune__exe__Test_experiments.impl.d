@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest Array Experiments Filename Float Fmt Gen List Net Option QCheck QCheck_alcotest Sim String Sys

@@ -1,0 +1,1 @@
+test/test_igp.ml: Alcotest Array Bgp Fmt Hashtbl Igp List Net Option QCheck QCheck_alcotest Sim

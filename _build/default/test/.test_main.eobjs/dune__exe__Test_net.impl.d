@@ -1,0 +1,1 @@
+test/test_net.ml: Alcotest Arp Bytes Char Ethernet Filename Int32 Int64 Ipv4 Ipv4_packet Link List Lpm Mac Net Option Pcap Prefix QCheck QCheck_alcotest Sim String Sys Udp Wire

@@ -1,0 +1,1 @@
+test/test_openflow.ml: Action Alcotest Array Bytes Codec Flow_table Fmt List Message Net Ofmatch Openflow Option QCheck QCheck_alcotest Sim String Switch

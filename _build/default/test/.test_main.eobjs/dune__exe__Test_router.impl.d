@@ -1,0 +1,1 @@
+test/test_router.ml: Alcotest Bfd Bgp Fmt List Net Option Router Sim

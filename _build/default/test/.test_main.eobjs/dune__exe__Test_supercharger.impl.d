@@ -1,0 +1,1 @@
+test/test_supercharger.ml: Alcotest Array Bgp Fmt List Net Openflow Option QCheck QCheck_alcotest Supercharger Workloads

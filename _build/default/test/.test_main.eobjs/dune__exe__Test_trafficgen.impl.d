@@ -1,0 +1,1 @@
+test/test_trafficgen.ml: Alcotest Array Fmt List Net Option Sim Trafficgen

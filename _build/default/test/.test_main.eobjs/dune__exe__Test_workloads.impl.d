@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Array Bgp Float Fmt Hashtbl List Net Option Sim Workloads

@@ -1,0 +1,225 @@
+(* Tests for the link-state IGP substrate: LSAs, SPF (incl. the two-way
+   check), the database, flooding/convergence, and the hook into the
+   BGP decision process. *)
+
+let ip = Net.Ipv4.of_string_exn
+
+let lsa origin seq links =
+  Igp.Lsa.make ~origin:(ip origin) ~seq
+    ~links:(List.map (fun (n, c) -> (ip n, c)) links)
+
+let lsa_tests =
+  [
+    Alcotest.test_case "newer compares same-origin sequence numbers" `Quick (fun () ->
+        let a1 = lsa "10.0.0.1" 1 [] and a2 = lsa "10.0.0.1" 2 [] in
+        let b2 = lsa "10.0.0.2" 2 [] in
+        Alcotest.(check bool) "2 newer than 1" true (Igp.Lsa.newer a2 ~than:a1);
+        Alcotest.(check bool) "1 not newer than 2" false (Igp.Lsa.newer a1 ~than:a2);
+        Alcotest.(check bool) "different origin never newer" false
+          (Igp.Lsa.newer b2 ~than:a1));
+    Alcotest.test_case "non-positive costs rejected" `Quick (fun () ->
+        Alcotest.(check bool) "raises" true
+          (try
+             ignore (lsa "10.0.0.1" 1 [("10.0.0.2", 0)]);
+             false
+           with Invalid_argument _ -> true));
+  ]
+
+let database_tests =
+  [
+    Alcotest.test_case "install verdicts" `Quick (fun () ->
+        let db = Igp.Database.create () in
+        Alcotest.(check bool) "fresh installs" true
+          (Igp.Database.install db (lsa "10.0.0.1" 5 []) = Igp.Database.Installed);
+        Alcotest.(check bool) "duplicate" true
+          (Igp.Database.install db (lsa "10.0.0.1" 5 []) = Igp.Database.Duplicate);
+        Alcotest.(check bool) "stale" true
+          (Igp.Database.install db (lsa "10.0.0.1" 3 []) = Igp.Database.Stale);
+        Alcotest.(check bool) "newer installs" true
+          (Igp.Database.install db (lsa "10.0.0.1" 9 []) = Igp.Database.Installed);
+        Alcotest.(check int) "one origin" 1 (Igp.Database.cardinal db);
+        match Igp.Database.find db (ip "10.0.0.1") with
+        | Some held -> Alcotest.(check int) "freshest kept" 9 held.Igp.Lsa.seq
+        | None -> Alcotest.fail "missing");
+  ]
+
+(* A small reference topology:
+     r1 --1-- r2 --1-- r3
+      \---5------------/     (direct r1-r3 link, cost 5)            *)
+let triangle =
+  [
+    lsa "10.0.0.1" 1 [("10.0.0.2", 1); ("10.0.0.3", 5)];
+    lsa "10.0.0.2" 1 [("10.0.0.1", 1); ("10.0.0.3", 1)];
+    lsa "10.0.0.3" 1 [("10.0.0.1", 5); ("10.0.0.2", 1)];
+  ]
+
+let spf_tests =
+  [
+    Alcotest.test_case "prefers the two-hop path over the heavy link" `Quick
+      (fun () ->
+        Alcotest.(check (option int)) "r1->r3 via r2" (Some 2)
+          (Igp.Spf.distance_to ~source:(ip "10.0.0.1") ~lsas:triangle (ip "10.0.0.3"));
+        Alcotest.(check (option int)) "r1->r2" (Some 1)
+          (Igp.Spf.distance_to ~source:(ip "10.0.0.1") ~lsas:triangle (ip "10.0.0.2"));
+        Alcotest.(check (option int)) "self" (Some 0)
+          (Igp.Spf.distance_to ~source:(ip "10.0.0.1") ~lsas:triangle (ip "10.0.0.1")));
+    Alcotest.test_case "one-way links are ignored (two-way check)" `Quick (fun () ->
+        let lsas =
+          [
+            lsa "10.0.0.1" 1 [("10.0.0.2", 1)];
+            (* r2 does not advertise r1 back *)
+            lsa "10.0.0.2" 1 [];
+          ]
+        in
+        Alcotest.(check (option int)) "unreachable" None
+          (Igp.Spf.distance_to ~source:(ip "10.0.0.1") ~lsas (ip "10.0.0.2")));
+    Alcotest.test_case "asymmetric costs are honoured per direction" `Quick (fun () ->
+        let lsas =
+          [
+            lsa "10.0.0.1" 1 [("10.0.0.2", 10)];
+            lsa "10.0.0.2" 1 [("10.0.0.1", 3)];
+          ]
+        in
+        Alcotest.(check (option int)) "forward" (Some 10)
+          (Igp.Spf.distance_to ~source:(ip "10.0.0.1") ~lsas (ip "10.0.0.2"));
+        Alcotest.(check (option int)) "reverse" (Some 3)
+          (Igp.Spf.distance_to ~source:(ip "10.0.0.2") ~lsas (ip "10.0.0.1")));
+    Alcotest.test_case "partitions yield absent entries" `Quick (fun () ->
+        let lsas =
+          triangle
+          @ [lsa "10.0.0.9" 1 [("10.0.0.8", 1)]; lsa "10.0.0.8" 1 [("10.0.0.9", 1)]]
+        in
+        Alcotest.(check (option int)) "island unreachable" None
+          (Igp.Spf.distance_to ~source:(ip "10.0.0.1") ~lsas (ip "10.0.0.9"));
+        Alcotest.(check int) "three reachable" 3
+          (List.length (Igp.Spf.distances ~source:(ip "10.0.0.1") ~lsas)));
+    Alcotest.test_case "only the freshest LSA per origin counts" `Quick (fun () ->
+        let lsas =
+          triangle
+          @ [(* r2 loses its r3 link in a newer LSA *)
+             lsa "10.0.0.2" 2 [("10.0.0.1", 1)]]
+        in
+        Alcotest.(check (option int)) "now via heavy direct link" (Some 5)
+          (Igp.Spf.distance_to ~source:(ip "10.0.0.1") ~lsas (ip "10.0.0.3")));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"SPF agrees with Bellman-Ford" ~count:150
+         QCheck.(small_list (pair (pair (0 -- 5) (0 -- 5)) (1 -- 9)))
+         (fun raw_edges ->
+           let node i = Net.Ipv4.of_octets 10 0 0 (1 + i) in
+           (* Build symmetric LSAs (same cost both ways) so the two-way
+              check keeps every generated edge. Later duplicates win. *)
+           let cost = Hashtbl.create 16 in
+           List.iter
+             (fun ((a, b), c) -> if a <> b then Hashtbl.replace cost (min a b, max a b) c)
+             raw_edges;
+           let links_of i =
+             Hashtbl.fold
+               (fun (a, b) c acc ->
+                 if a = i then (node b, c) :: acc
+                 else if b = i then (node a, c) :: acc
+                 else acc)
+               cost []
+           in
+           let lsas =
+             List.init 6 (fun i ->
+                 Igp.Lsa.make ~origin:(node i) ~seq:1 ~links:(links_of i))
+           in
+           (* Bellman-Ford reference from node 0. *)
+           let inf = max_int / 4 in
+           let dist = Array.make 6 inf in
+           dist.(0) <- 0;
+           for _ = 1 to 6 do
+             Hashtbl.iter
+               (fun (a, b) c ->
+                 if dist.(a) + c < dist.(b) then dist.(b) <- dist.(a) + c;
+                 if dist.(b) + c < dist.(a) then dist.(a) <- dist.(b) + c)
+               cost
+           done;
+           let spf = Igp.Spf.distances ~source:(node 0) ~lsas in
+           List.for_all
+             (fun i ->
+               let expected = if dist.(i) >= inf then None else Some dist.(i) in
+               let got =
+                 List.find_map
+                   (fun (n, d) -> if Net.Ipv4.equal n (node i) then Some d else None)
+                   spf
+               in
+               got = expected)
+             [0; 1; 2; 3; 4; 5]));
+  ]
+
+(* Four nodes in a line with a shortcut, driven through the engine. *)
+let make_network () =
+  let e = Sim.Engine.create () in
+  let node i = Igp.Node.create e ~router_id:(ip (Fmt.str "10.0.0.%d" i)) () in
+  let r1 = node 1 and r2 = node 2 and r3 = node 3 and r4 = node 4 in
+  Igp.Node.connect ~a:r1 ~b:r2 ~cost:1;
+  Igp.Node.connect ~a:r2 ~b:r3 ~cost:1;
+  Igp.Node.connect ~a:r3 ~b:r4 ~cost:1;
+  Igp.Node.connect ~a:r1 ~b:r4 ~cost:10;
+  Sim.Engine.run ~until:(Sim.Time.of_sec 1.0) e;
+  (e, r1, r2, r3, r4)
+
+let node_tests =
+  [
+    Alcotest.test_case "flooding converges all databases" `Quick (fun () ->
+        let _, r1, r2, r3, r4 = make_network () in
+        List.iter
+          (fun n ->
+            Alcotest.(check int) "four origins" 4
+              (Igp.Database.cardinal (Igp.Node.database n)))
+          [r1; r2; r3; r4]);
+    Alcotest.test_case "distances across the line" `Quick (fun () ->
+        let _, r1, _, _, r4 = make_network () in
+        Alcotest.(check (option int)) "r1->r4 via line" (Some 3)
+          (Igp.Node.distance_to r1 (ip "10.0.0.4"));
+        Alcotest.(check (option int)) "r4->r1" (Some 3)
+          (Igp.Node.distance_to r4 (ip "10.0.0.1")));
+    Alcotest.test_case "link failure reroutes over the shortcut" `Quick (fun () ->
+        let e, r1, r2, r3, _r4 = make_network () in
+        let changes = ref 0 in
+        Igp.Node.on_change r1 (fun _ -> incr changes);
+        Igp.Node.disconnect ~a:r2 ~b:r3;
+        Sim.Engine.run ~until:(Sim.Time.of_sec 2.0) e;
+        Alcotest.(check (option int)) "via the heavy shortcut" (Some 10)
+          (Igp.Node.distance_to r1 (ip "10.0.0.4"));
+        Alcotest.(check (option int)) "r3 via r4 now" (Some 11)
+          (Igp.Node.distance_to r1 (ip "10.0.0.3"));
+        Alcotest.(check bool) "change callback fired" true (!changes > 0);
+        ignore r3);
+    Alcotest.test_case "cost change propagates" `Quick (fun () ->
+        let e, r1, _, _, r4 = make_network () in
+        Igp.Node.set_cost ~a:r1 ~b:r4 ~cost:2;
+        Sim.Engine.run ~until:(Sim.Time.of_sec 2.0) e;
+        Alcotest.(check (option int)) "shortcut now preferred" (Some 2)
+          (Igp.Node.distance_to r1 (ip "10.0.0.4")));
+    Alcotest.test_case "IGP cost feeds the BGP decision process" `Quick (fun () ->
+        (* Two eBGP routes, identical attributes; the next hop that is
+           IGP-closer must win (decision step 6). *)
+        let e, r1, _, _, r4 = make_network () in
+        ignore e;
+        let igp_cost_of nh =
+          Option.value (Igp.Node.distance_to r1 nh) ~default:max_int
+        in
+        let route peer_id nh_str =
+          let nh = ip nh_str in
+          Bgp.Route.make ~peer_id ~peer_router_id:nh ~igp_cost:(igp_cost_of nh)
+            (Bgp.Attributes.make
+               ~as_path:[Bgp.Attributes.Seq [Bgp.Asn.of_int 65002]]
+               ~next_hop:nh ())
+        in
+        ignore r4;
+        let via_r2 = route 0 "10.0.0.2" (* cost 1 *) in
+        let via_r4 = route 1 "10.0.0.4" (* cost 3 *) in
+        match Bgp.Decision.best [via_r4; via_r2] with
+        | Some best -> Alcotest.(check int) "nearer NH wins" 0 best.Bgp.Route.peer_id
+        | None -> Alcotest.fail "no best");
+  ]
+
+let suite =
+  [
+    ("igp.lsa", lsa_tests);
+    ("igp.database", database_tests);
+    ("igp.spf", spf_tests);
+    ("igp.node", node_tests);
+  ]

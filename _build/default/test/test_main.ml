@@ -1,0 +1,19 @@
+(* Aggregates every library's suite into one alcotest run. *)
+
+let () =
+  Alcotest.run "supercharged_router"
+    (List.concat
+       [
+         Test_sim.suite;
+         Test_net.suite;
+         Test_bgp.suite;
+         Test_bfd.suite;
+         Test_openflow.suite;
+         Test_router.suite;
+         Test_igp.suite;
+         Test_supercharger.suite;
+         Test_controller.suite;
+         Test_trafficgen.suite;
+         Test_workloads.suite;
+         Test_experiments.suite;
+       ])

@@ -1,0 +1,154 @@
+(* Tests for the synthetic workload generators. *)
+
+let rib_gen_tests =
+  [
+    Alcotest.test_case "prefixes are unique" `Quick (fun () ->
+        let entries = Workloads.Rib_gen.generate ~seed:1L ~count:20_000 in
+        let tbl = Hashtbl.create 40_000 in
+        Array.iter
+          (fun (e : Workloads.Rib_gen.entry) ->
+            let key = Net.Prefix.to_string e.prefix in
+            if Hashtbl.mem tbl key then Alcotest.failf "duplicate %s" key;
+            Hashtbl.replace tbl key ())
+          entries;
+        Alcotest.(check int) "count" 20_000 (Array.length entries));
+    Alcotest.test_case "deterministic in the seed" `Quick (fun () ->
+        let a = Workloads.Rib_gen.generate ~seed:7L ~count:1_000 in
+        let b = Workloads.Rib_gen.generate ~seed:7L ~count:1_000 in
+        let c = Workloads.Rib_gen.generate ~seed:8L ~count:1_000 in
+        Alcotest.(check bool) "same" true (a = b);
+        Alcotest.(check bool) "different" false (a = c));
+    Alcotest.test_case "length mix is /24-heavy and bounded" `Quick (fun () ->
+        let entries = Workloads.Rib_gen.generate ~seed:1L ~count:20_000 in
+        let count24 = ref 0 in
+        Array.iter
+          (fun (e : Workloads.Rib_gen.entry) ->
+            let len = Net.Prefix.length e.prefix in
+            Alcotest.(check bool) "within 16..24" true (len >= 16 && len <= 24);
+            if len = 24 then incr count24)
+          entries;
+        let share = float_of_int !count24 /. 20_000.0 in
+        Alcotest.(check bool) (Fmt.str "about half are /24 (%.2f)" share) true
+          (share > 0.50 && share < 0.60));
+    Alcotest.test_case "paths are non-empty and well-formed" `Quick (fun () ->
+        let entries = Workloads.Rib_gen.generate ~seed:1L ~count:1_000 in
+        Array.iter
+          (fun (e : Workloads.Rib_gen.entry) ->
+            Alcotest.(check bool) "path" true
+              (List.length e.as_path >= 1 && List.length e.as_path <= 5))
+          entries);
+    Alcotest.test_case "to_updates prepends the speaker and sets the NH" `Quick
+      (fun () ->
+        let entries = Workloads.Rib_gen.generate ~seed:1L ~count:10 in
+        let updates =
+          Workloads.Rib_gen.to_updates entries ~speaker_asn:(Bgp.Asn.of_int 65002)
+            ~next_hop:(Net.Ipv4.of_octets 10 0 0 2)
+        in
+        Alcotest.(check int) "one per entry" 10 (List.length updates);
+        List.iteri
+          (fun i (u : Bgp.Message.update) ->
+            match u.attrs with
+            | Some attrs ->
+              Alcotest.(check (option int)) "first as" (Some 65002)
+                (Option.map Bgp.Asn.to_int (Bgp.Attributes.first_as attrs));
+              Alcotest.(check string) "nh" "10.0.0.2"
+                (Net.Ipv4.to_string attrs.Bgp.Attributes.next_hop);
+              Alcotest.(check int) "path grew by one"
+                (List.length entries.(i).Workloads.Rib_gen.as_path + 1)
+                (Bgp.Attributes.as_path_length attrs)
+            | None -> Alcotest.fail "no attrs")
+          updates);
+    Alcotest.test_case "count limit enforced" `Quick (fun () ->
+        Alcotest.(check bool) "raises" true
+          (try
+             ignore (Workloads.Rib_gen.generate ~seed:1L ~count:700_000);
+             false
+           with Invalid_argument _ -> true));
+  ]
+
+let feed_tests =
+  [
+    Alcotest.test_case "replay paces batches on the interval" `Quick (fun () ->
+        let e = Sim.Engine.create () in
+        let updates =
+          List.init 25 (fun i ->
+              { Bgp.Message.withdrawn = [Net.Prefix.make (Net.Ipv4.of_octets 1 0 i 0) 24];
+                attrs = None; nlri = [] })
+        in
+        let arrivals = ref [] in
+        let done_at = ref None in
+        Workloads.Feed.replay e ~updates ~batch:10 ~interval:(Sim.Time.of_ms 5)
+          ~on_done:(fun () -> done_at := Some (Sim.Time.to_ms (Sim.Engine.now e)))
+          ~send:(fun _ -> arrivals := Sim.Time.to_ms (Sim.Engine.now e) :: !arrivals)
+          ();
+        Sim.Engine.run e;
+        Alcotest.(check int) "all sent" 25 (List.length !arrivals);
+        let batches =
+          List.sort_uniq Float.compare !arrivals
+        in
+        Alcotest.(check (list (float 0.001))) "batch times" [0.0; 5.0; 10.0] batches;
+        Alcotest.(check (option (float 0.001))) "done with last batch" (Some 10.0) !done_at);
+    Alcotest.test_case "replay handles an exact batch multiple" `Quick (fun () ->
+        let e = Sim.Engine.create () in
+        let updates =
+          List.init 20 (fun i ->
+              { Bgp.Message.withdrawn = [Net.Prefix.make (Net.Ipv4.of_octets 1 0 i 0) 24];
+                attrs = None; nlri = [] })
+        in
+        let sent = ref 0 and finished = ref false in
+        Workloads.Feed.replay e ~updates ~batch:10 ~interval:(Sim.Time.of_ms 1)
+          ~on_done:(fun () -> finished := true)
+          ~send:(fun _ -> incr sent)
+          ();
+        Sim.Engine.run e;
+        Alcotest.(check int) "all" 20 !sent;
+        Alcotest.(check bool) "done fired once" true !finished);
+    Alcotest.test_case "replay of an empty feed fires on_done" `Quick (fun () ->
+        let e = Sim.Engine.create () in
+        let finished = ref false in
+        Workloads.Feed.replay e ~updates:[] ~send:(fun _ -> ())
+          ~on_done:(fun () -> finished := true)
+          ();
+        Sim.Engine.run e;
+        Alcotest.(check bool) "fired" true !finished);
+    Alcotest.test_case "interleave alternates and keeps tails" `Quick (fun () ->
+        Alcotest.(check (list int)) "even" [1; 10; 2; 20]
+          (Workloads.Feed.interleave [1; 2] [10; 20]);
+        Alcotest.(check (list int)) "uneven" [1; 10; 2; 20; 30; 40]
+          (Workloads.Feed.interleave [1; 2] [10; 20; 30; 40]));
+  ]
+
+let churn_tests =
+  [
+    Alcotest.test_case "full_table_race has every peer's full feed" `Quick (fun () ->
+        let events =
+          Workloads.Churn.full_table_race ~seed:1L ~count:100
+            ~next_hops:[| Net.Ipv4.of_octets 10 0 0 2; Net.Ipv4.of_octets 10 0 0 3 |]
+            ~asns:[| Bgp.Asn.of_int 65002; Bgp.Asn.of_int 65003 |]
+        in
+        Alcotest.(check int) "2 x 100" 200 (List.length events);
+        let per_peer p =
+          List.length (List.filter (fun (e : Workloads.Churn.event) -> e.peer = p) events)
+        in
+        Alcotest.(check int) "peer 0" 100 (per_peer 0);
+        Alcotest.(check int) "peer 1" 100 (per_peer 1));
+    Alcotest.test_case "flap alternates withdraw and re-announce" `Quick (fun () ->
+        let entries = Workloads.Rib_gen.generate ~seed:1L ~count:50 in
+        let events =
+          Workloads.Churn.flap ~seed:2L ~entries ~rounds:10
+            ~next_hop:(Net.Ipv4.of_octets 10 0 0 2) ~asn:(Bgp.Asn.of_int 65002) ~peer:0
+        in
+        Alcotest.(check int) "two per round" 20 (List.length events);
+        List.iteri
+          (fun i (e : Workloads.Churn.event) ->
+            let is_withdraw = e.update.Bgp.Message.withdrawn <> [] in
+            Alcotest.(check bool) "alternates" (i mod 2 = 0) is_withdraw)
+          events);
+  ]
+
+let suite =
+  [
+    ("workloads.rib_gen", rib_gen_tests);
+    ("workloads.feed", feed_tests);
+    ("workloads.churn", churn_tests);
+  ]
