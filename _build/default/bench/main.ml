@@ -10,10 +10,25 @@
      dune exec bench/main.exe -- extensions   - FIB cache + load balancing (S1)
      dune exec bench/main.exe -- ops          - Bechamel per-operation costs
      dune exec bench/main.exe -- all --quick  - reduced sizes (CI-friendly)
-     dune exec bench/main.exe -- all --full   - 3 repetitions like the paper *)
+     dune exec bench/main.exe -- all --full   - 3 repetitions like the paper
+     ... --json FILE                          - also write the numbers as JSON
+                                                (schema bench/v1, see DESIGN.md) *)
 
 let quick = Array.exists (String.equal "--quick") Sys.argv
 let full = Array.exists (String.equal "--full") Sys.argv
+
+(* --json FILE: also write every section's numbers as a machine-readable
+   BENCH_*.json artifact (schema bench/v1). *)
+let json_file =
+  let rec find = function
+    | "--json" :: file :: _ -> Some file
+    | _ :: rest -> find rest
+    | [] -> None
+  in
+  find (Array.to_list Sys.argv)
+
+let json_sections : (string * Obs.Json.t) list ref = ref []
+let record_json name json = json_sections := (name, json) :: !json_sections
 
 let section title = Fmt.pr "@.=== %s ===@.@." title
 
@@ -36,7 +51,8 @@ let run_fig5 () =
   in
   Experiments.Fig5.pp_table Fmt.stdout rows;
   Fmt.pr "@.";
-  Experiments.Fig5.pp_ascii_figure Fmt.stdout rows
+  Experiments.Fig5.pp_ascii_figure Fmt.stdout rows;
+  record_json "fig5" (Experiments.Fig5.to_json rows)
 
 (* ------------------------------------------------------------------ *)
 (* S4 micro-benchmark: per-update controller processing time.          *)
@@ -47,7 +63,8 @@ let run_micro () =
   Fmt.pr "feeding 2 x %d updates from two peers through the decision process@." count;
   Fmt.pr "and the Listing 1 algorithm (wall-clock per update)...@.@.";
   let report = Experiments.Micro.run ~count () in
-  Fmt.pr "%a@." Experiments.Micro.pp_report report
+  Fmt.pr "%a@." Experiments.Micro.pp_report report;
+  record_json "micro" (Experiments.Micro.to_json report)
 
 (* ------------------------------------------------------------------ *)
 (* S2: number of backup-groups vs number of peers.                     *)
@@ -55,25 +72,36 @@ let run_micro () =
 let run_groups () =
   section "S2 - backup-group count vs peers (n x (n-1), 90 at n=10)";
   Fmt.pr "%-8s %12s %12s@." "peers" "allocated" "n*(n-1)";
-  List.iter
-    (fun n ->
-      (* Allocate every ordered pair, as a worst-case table would. *)
-      let groups = Supercharger.Backup_group.create (Supercharger.Vnh.create ()) in
-      for i = 0 to n - 1 do
-        for j = 0 to n - 1 do
-          if i <> j then
-            ignore
-              (Supercharger.Backup_group.find_or_create groups
-                 [
-                   Net.Ipv4.of_octets 10 0 0 (2 + i);
-                   Net.Ipv4.of_octets 10 0 0 (2 + j);
-                 ])
-        done
-      done;
-      Fmt.pr "%-8d %12d %12d@." n
-        (Supercharger.Backup_group.count groups)
-        (Supercharger.Backup_group.theoretical_max ~n_peers:n ~group_size:2))
-    [2; 3; 4; 5; 6; 8; 10; 12; 16]
+  let rows =
+    List.map
+      (fun n ->
+        (* Allocate every ordered pair, as a worst-case table would. *)
+        let groups = Supercharger.Backup_group.create (Supercharger.Vnh.create ()) in
+        for i = 0 to n - 1 do
+          for j = 0 to n - 1 do
+            if i <> j then
+              ignore
+                (Supercharger.Backup_group.find_or_create groups
+                   [
+                     Net.Ipv4.of_octets 10 0 0 (2 + i);
+                     Net.Ipv4.of_octets 10 0 0 (2 + j);
+                   ])
+          done
+        done;
+        let allocated = Supercharger.Backup_group.count groups in
+        let max_ =
+          Supercharger.Backup_group.theoretical_max ~n_peers:n ~group_size:2
+        in
+        Fmt.pr "%-8d %12d %12d@." n allocated max_;
+        Obs.Json.Obj
+          [
+            ("peers", Obs.Json.Int n);
+            ("allocated", Obs.Json.Int allocated);
+            ("theoretical_max", Obs.Json.Int max_);
+          ])
+      [2; 3; 4; 5; 6; 8; 10; 12; 16]
+  in
+  record_json "groups" (Obs.Json.List rows)
 
 (* ------------------------------------------------------------------ *)
 (* Ablations (DESIGN.md A1-A3).                                        *)
@@ -81,22 +109,33 @@ let run_groups () =
 let run_ablations () =
   section "Ablation A1 - supercharged convergence vs BFD interval";
   let n_prefixes = if quick then 2_000 else 10_000 in
+  let bfd = Experiments.Ablations.bfd_sweep ~n_prefixes () in
   Experiments.Ablations.pp_points
     ~header:(Fmt.str "(%d prefixes, detect mult 3)" n_prefixes)
-    Fmt.stdout
-    (Experiments.Ablations.bfd_sweep ~n_prefixes ());
+    Fmt.stdout bfd;
   section "Ablation A2 - supercharged convergence vs flow-mod latency";
+  let flow_mod = Experiments.Ablations.flow_mod_sweep ~n_prefixes () in
   Experiments.Ablations.pp_points
     ~header:(Fmt.str "(%d prefixes, BFD 3 x 40ms)" n_prefixes)
-    Fmt.stdout
-    (Experiments.Ablations.flow_mod_sweep ~n_prefixes ());
+    Fmt.stdout flow_mod;
   section "Ablation A3 - controller replication (S3)";
-  Fmt.pr "%a@." Experiments.Ablations.pp_replica_report
-    (Experiments.Ablations.replicas ~n_prefixes:(if quick then 1_000 else 5_000) ());
+  let replicas =
+    Experiments.Ablations.replicas ~n_prefixes:(if quick then 1_000 else 5_000) ()
+  in
+  Fmt.pr "%a@." Experiments.Ablations.pp_replica_report replicas;
   section "Ablation A4 - backup-groups of any size (double failure)";
-  Fmt.pr "%a@." Experiments.Ablations.pp_double_failure
-    (Experiments.Ablations.double_failure
-       ~n_prefixes:(if quick then 500 else 2_000) ())
+  let double =
+    Experiments.Ablations.double_failure ~n_prefixes:(if quick then 500 else 2_000) ()
+  in
+  Fmt.pr "%a@." Experiments.Ablations.pp_double_failure double;
+  record_json "ablations"
+    (Obs.Json.Obj
+       [
+         ("bfd_sweep", Experiments.Ablations.points_to_json bfd);
+         ("flow_mod_sweep", Experiments.Ablations.points_to_json flow_mod);
+         ("replicas", Experiments.Ablations.replica_report_to_json replicas);
+         ("double_failure", Experiments.Ablations.double_failure_to_json double);
+       ])
 
 (* ------------------------------------------------------------------ *)
 (* Extension tables: the other "supercharging aspects" of S1.          *)
@@ -334,10 +373,15 @@ let run_ops () =
 (* ------------------------------------------------------------------ *)
 
 let () =
+  let rec strip_json_arg = function
+    | "--json" :: _ :: rest -> strip_json_arg rest
+    | a :: rest -> a :: strip_json_arg rest
+    | [] -> []
+  in
   let named =
     List.filter
       (fun a -> not (String.length a > 1 && a.[0] = '-'))
-      (List.tl (Array.to_list Sys.argv))
+      (strip_json_arg (List.tl (Array.to_list Sys.argv)))
   in
   let want name = named = [] || List.mem "all" named || List.mem name named in
   Fmt.pr "Supercharged router - benchmark harness (see DESIGN.md S4 index)@.";
@@ -347,4 +391,16 @@ let () =
   if want "ablations" then run_ablations ();
   if want "extensions" then run_extensions ();
   if want "ops" then run_ops ();
+  (match json_file with
+  | Some file ->
+    Obs.Json.to_file file
+      (Obs.Json.Obj
+         [
+           ("schema", Obs.Json.String "bench/v1");
+           ("quick", Obs.Json.Bool quick);
+           ("full", Obs.Json.Bool full);
+           ("sections", Obs.Json.Obj (List.rev !json_sections));
+         ]);
+    Fmt.pr "@.json artifact written to %s@." file
+  | None -> ());
   Fmt.pr "@.done.@."

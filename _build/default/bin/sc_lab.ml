@@ -174,7 +174,14 @@ let fig5_cmd =
       & opt (some string) None
       & info ["csv"] ~docv:"FILE" ~doc:"Also write the rows as CSV.")
   in
-  let run sizes repetitions flows csv =
+  let json_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info ["json"] ~docv:"FILE"
+          ~doc:"Also write the rows as JSON (schema bench/v1).")
+  in
+  let run sizes repetitions flows csv json =
     let rows =
       Experiments.Fig5.run ~sizes ~repetitions ~monitored_flows:flows
         ~progress:(fun m -> Fmt.epr "%s@." m)
@@ -183,16 +190,26 @@ let fig5_cmd =
     Experiments.Fig5.pp_table Fmt.stdout rows;
     Fmt.pr "@.";
     Experiments.Fig5.pp_ascii_figure Fmt.stdout rows;
-    match csv with
+    (match csv with
     | Some path ->
       let oc = open_out path in
       output_string oc (Experiments.Fig5.to_csv rows);
       close_out oc;
       Fmt.pr "@.csv written to %s@." path
+    | None -> ());
+    match json with
+    | Some path ->
+      Obs.Json.to_file path
+        (Obs.Json.Obj
+           [
+             ("schema", Obs.Json.String "bench/v1");
+             ("sections", Obs.Json.Obj [("fig5", Experiments.Fig5.to_json rows)]);
+           ]);
+      Fmt.pr "@.json written to %s@." path
     | None -> ()
   in
   Cmd.v (Cmd.info "fig5" ~doc:"Reproduce Fig. 5 (convergence vs table size).")
-    Term.(const run $ sizes_arg $ reps_arg $ flows_arg $ csv_arg)
+    Term.(const run $ sizes_arg $ reps_arg $ flows_arg $ csv_arg $ json_arg)
 
 let () =
   let default = Term.(ret (const (`Help (`Pager, None)))) in

@@ -1,1 +1,1 @@
-lib/bfd/session.ml: Int64 Option Packet Sim Stdlib
+lib/bfd/session.ml: Int64 Obs Option Packet Sim Stdlib

@@ -18,6 +18,8 @@ type t = {
   mutable state_cb : (Packet.state -> Packet.diagnostic -> unit) option;
   mutable sent : int;
   mutable received : int;
+  m_detection : Obs.Histogram.t;
+    (* seconds from last received control packet to declaring Down *)
 }
 
 let trace t fmt =
@@ -48,6 +50,8 @@ let create engine ?(name = "bfd") ~local_discriminator ?(detect_mult = 3)
     state_cb = None;
     sent = 0;
     received = 0;
+    m_detection =
+      Obs.Metrics.histogram (Sim.Engine.metrics engine) "bfd.detection_seconds";
   }
 
 let detection_time t =
@@ -120,8 +124,11 @@ let rec arm_detection t =
              match t.state, t.last_received with
              | (Packet.Up | Packet.Init), Some last ->
                let deadline = Sim.Time.add last (detection_time t) in
-               if Sim.Time.(Sim.Engine.now t.engine >= deadline) then
+               if Sim.Time.(Sim.Engine.now t.engine >= deadline) then begin
+                 Obs.Histogram.observe t.m_detection
+                   (Sim.Time.to_sec (Sim.Time.sub (Sim.Engine.now t.engine) last));
                  set_state t Packet.Down Packet.Control_detection_time_expired
+               end
                else arm_detection t
              | _ -> ()))
 

@@ -1,1 +1,1 @@
-lib/core/controller.ml: Algorithm Arp_responder Backup_group Bfd Bgp Fmt Hashtbl Int32 List Net Openflow Provisioner Router Sim Vnh
+lib/core/controller.ml: Algorithm Arp_responder Backup_group Bfd Bgp Fmt Hashtbl Int32 List Net Obs Openflow Provisioner Router Sim Vnh

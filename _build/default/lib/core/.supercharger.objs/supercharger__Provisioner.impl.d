@@ -1,1 +1,1 @@
-lib/core/provisioner.ml: Backup_group Fmt Hashtbl List Net Openflow
+lib/core/provisioner.ml: Backup_group Fmt Hashtbl List Net Obs Openflow

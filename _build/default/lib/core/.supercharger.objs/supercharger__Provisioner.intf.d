@@ -1,1 +1,1 @@
-lib/core/provisioner.mli: Backup_group Net Openflow
+lib/core/provisioner.mli: Backup_group Net Obs Openflow

@@ -1,1 +1,1 @@
-lib/core/vnh.ml: Int64 Net
+lib/core/vnh.ml: Int64 Net Queue

@@ -16,10 +16,18 @@ end)
 type t = {
   groups : Backup_group.t;
   last_sent : Bgp.Attributes.t Prefix_table.t;
+  group_of : Backup_group.binding Prefix_table.t;
+      (* the group each announced prefix currently references *)
   mutable emissions : int;
 }
 
-let create groups = { groups; last_sent = Prefix_table.create 4096; emissions = 0 }
+let create groups =
+  {
+    groups;
+    last_sent = Prefix_table.create 4096;
+    group_of = Prefix_table.create 4096;
+    emissions = 0;
+  }
 
 let distinct_next_hops routes =
   let rec dedup seen = function
@@ -31,19 +39,43 @@ let distinct_next_hops routes =
   in
   dedup [] routes
 
-let desired_attrs t (after : Bgp.Route.t list) =
+(* What should be announced, and which backup-group (if any) the
+   announcement references. *)
+let desired t (after : Bgp.Route.t list) =
   match after with
-  | [] -> None
+  | [] -> (None, None)
   | best :: _ -> (
     match distinct_next_hops after with
-    | [] | [_] -> Some best.attrs
+    | [] | [_] -> (Some best.attrs, None)
     | nhs ->
       let binding = Backup_group.find_or_create t.groups nhs in
-      Some (Bgp.Attributes.with_next_hop best.attrs binding.Backup_group.vnh))
+      ( Some (Bgp.Attributes.with_next_hop best.attrs binding.Backup_group.vnh),
+        Some binding ))
+
+(* Move the prefix's reference to [binding]: acquire-before-release so a
+   swap within the same group never dips the refcount to zero. *)
+let update_group_ref t prefix binding =
+  let old = Prefix_table.find_opt t.group_of prefix in
+  match binding with
+  | Some b -> (
+    match old with
+    | Some o when o == b -> ()
+    | _ ->
+      Backup_group.acquire t.groups b;
+      (match old with Some o -> Backup_group.release t.groups o | None -> ());
+      Prefix_table.replace t.group_of prefix b)
+  | None -> (
+    match old with
+    | Some o ->
+      Backup_group.release t.groups o;
+      Prefix_table.remove t.group_of prefix
+    | None -> ())
 
 let process_change t (change : Bgp.Rib.change) =
   let prefix = change.prefix in
-  match desired_attrs t change.after with
+  let attrs, binding = desired t change.after in
+  update_group_ref t prefix binding;
+  match attrs with
   | None ->
     if Prefix_table.mem t.last_sent prefix then begin
       Prefix_table.remove t.last_sent prefix;

@@ -2,6 +2,7 @@ type binding = {
   next_hops : Net.Ipv4.t list;
   vnh : Net.Ipv4.t;
   vmac : Net.Mac.t;
+  mutable refs : int; (* prefixes currently announced with this VNH *)
 }
 
 let pp_binding ppf b =
@@ -39,7 +40,9 @@ type t = {
   by_vnh : binding Ip_table.t;
   by_vmac : binding Mac_table.t;
   mutable order : binding list; (* reversed creation order *)
+  mutable live : int; (* bindings with refs > 0 *)
   mutable create_cb : (binding -> unit) option;
+  mutable idle_cb : (binding -> unit) option;
 }
 
 let create ?(group_size = 2) allocator =
@@ -51,7 +54,9 @@ let create ?(group_size = 2) allocator =
     by_vnh = Ip_table.create 64;
     by_vmac = Mac_table.create 64;
     order = [];
+    live = 0;
     create_cb = None;
+    idle_cb = None;
   }
 
 let group_size t = t.group_size
@@ -68,7 +73,7 @@ let find_or_create t nhs =
   | Some binding -> binding
   | None ->
     let vnh, vmac = Vnh.fresh t.allocator in
-    let binding = { next_hops = key; vnh; vmac } in
+    let binding = { next_hops = key; vnh; vmac; refs = 0 } in
     Key_table.replace t.by_key key binding;
     Ip_table.replace t.by_vnh vnh binding;
     Mac_table.replace t.by_vmac vmac binding;
@@ -91,7 +96,39 @@ let with_member t peer =
 
 let count t = Key_table.length t.by_key
 
+let acquire t binding =
+  if binding.refs = 0 then t.live <- t.live + 1;
+  binding.refs <- binding.refs + 1
+
+let release t binding =
+  if binding.refs <= 0 then invalid_arg "Backup_group.release: refcount underflow";
+  binding.refs <- binding.refs - 1;
+  if binding.refs = 0 then begin
+    t.live <- t.live - 1;
+    match t.idle_cb with Some f -> f binding | None -> ()
+  end
+
+let refs binding = binding.refs
+let live_count t = t.live
+
+let registered t binding =
+  match Key_table.find_opt t.by_key binding.next_hops with
+  | Some current -> current == binding
+  | None -> false
+
+let destroy t binding =
+  if binding.refs = 0 && registered t binding then begin
+    Key_table.remove t.by_key binding.next_hops;
+    Ip_table.remove t.by_vnh binding.vnh;
+    Mac_table.remove t.by_vmac binding.vmac;
+    t.order <- List.filter (fun b -> b != binding) t.order;
+    Vnh.release t.allocator (binding.vnh, binding.vmac);
+    true
+  end
+  else false
+
 let on_create t f = t.create_cb <- Some f
+let on_idle t f = t.idle_cb <- Some f
 
 let theoretical_max ~n_peers ~group_size =
   let rec falling n k = if k = 0 then 1 else n * falling (n - 1) (k - 1) in

@@ -20,6 +20,7 @@ type t = {
   engine : Sim.Engine.t;
   name : string;
   reroute_latency : Sim.Time.t;
+  group_linger : Sim.Time.t;
   bfd_detect_mult : int;
   bfd_tx_interval : Sim.Time.t;
   speaker : Bgp.Speaker.t;
@@ -38,6 +39,14 @@ type t = {
   mutable failovers : int;
   mutable updates_processed : int;
   mutable started : bool;
+  mutable next_xid : int;
+  mutable failover_waits : (int * Sim.Time.t) list;
+      (* barrier xid -> BFD-down instant, for failover-latency measurement *)
+  m_updates : Obs.Metrics.counter;
+  m_updates_sent : Obs.Metrics.counter;
+  m_emissions : Obs.Metrics.counter;
+  m_groups_live : Obs.Metrics.gauge;
+  m_failover : Obs.Histogram.t;
 }
 
 let trace t fmt =
@@ -45,14 +54,17 @@ let trace t fmt =
     ~category:"controller" fmt
 
 let create engine ~name ~asn ~router_id ?(group_size = 2)
-    ?(reroute_latency = Sim.Time.of_ms 25) ?(bfd_detect_mult = 3)
-    ?(bfd_tx_interval = Sim.Time.of_ms 40) ?vnh_pool ?vmac_base () =
+    ?(reroute_latency = Sim.Time.of_ms 25) ?(group_linger = Sim.Time.of_sec 5.0)
+    ?(bfd_detect_mult = 3) ?(bfd_tx_interval = Sim.Time.of_ms 40) ?vnh_pool
+    ?vmac_base () =
   let allocator = Vnh.create ?pool:vnh_pool ?vmac_base () in
   let groups = Backup_group.create ~group_size allocator in
+  let metrics = Sim.Engine.metrics engine in
   {
     engine;
     name;
     reroute_latency;
+    group_linger;
     bfd_detect_mult;
     bfd_tx_interval;
     speaker = Bgp.Speaker.create engine ~name ~asn ~router_id ();
@@ -71,6 +83,13 @@ let create engine ~name ~asn ~router_id ?(group_size = 2)
     failovers = 0;
     updates_processed = 0;
     started = false;
+    next_xid = 1;
+    failover_waits = [];
+    m_updates = Obs.Metrics.counter metrics "controller.updates_processed";
+    m_updates_sent = Obs.Metrics.counter metrics "controller.updates_sent";
+    m_emissions = Obs.Metrics.counter metrics "controller.emissions";
+    m_groups_live = Obs.Metrics.gauge metrics "controller.groups_live";
+    m_failover = Obs.Metrics.histogram metrics "controller.failover_seconds";
   }
 
 let name t = t.name
@@ -82,32 +101,37 @@ let provisioner_exn t =
 
 (* --- relaying emissions to the supercharged router(s) ----------------- *)
 
-(* Consecutive announcements sharing attributes are packed into a single
-   UPDATE (one attribute block, many NLRI), like a real speaker would. *)
+(* Consecutive emissions of the same kind are packed into a single
+   UPDATE, like a real speaker would: announcements sharing attributes
+   become one attribute block with many NLRI, and runs of withdrawals
+   become one message's [withdrawn] list. *)
+type emission_run =
+  | No_run
+  | Announce_run of Bgp.Attributes.t * Net.Prefix.t list (* NLRI reversed *)
+  | Withdraw_run of Net.Prefix.t list (* reversed *)
+
 let updates_of_emissions emissions =
-  let flush_announce attrs nlri acc =
-    match nlri with
-    | [] -> acc
-    | _ -> Bgp.Message.{ withdrawn = []; attrs = Some attrs; nlri = List.rev nlri } :: acc
+  let flush run acc =
+    match run with
+    | No_run -> acc
+    | Announce_run (attrs, nlri) ->
+      Bgp.Message.{ withdrawn = []; attrs = Some attrs; nlri = List.rev nlri } :: acc
+    | Withdraw_run ps ->
+      Bgp.Message.{ withdrawn = List.rev ps; attrs = None; nlri = [] } :: acc
   in
-  let rec walk acc current emissions =
-    match emissions, current with
-    | [], None -> List.rev acc
-    | [], Some (attrs, nlri) -> List.rev (flush_announce attrs nlri acc)
-    | Algorithm.Withdraw p :: rest, None ->
-      walk (Bgp.Message.{ withdrawn = [p]; attrs = None; nlri = [] } :: acc) None rest
-    | Algorithm.Withdraw p :: rest, Some (attrs, nlri) ->
-      let acc = flush_announce attrs nlri acc in
-      walk (Bgp.Message.{ withdrawn = [p]; attrs = None; nlri = [] } :: acc) None rest
-    | Algorithm.Announce (p, attrs) :: rest, None -> walk acc (Some (attrs, [p])) rest
-    | Algorithm.Announce (p, attrs) :: rest, Some (cur_attrs, nlri) ->
-      if Bgp.Attributes.equal attrs cur_attrs then
-        walk acc (Some (cur_attrs, p :: nlri)) rest
-      else
-        let acc = flush_announce cur_attrs nlri acc in
-        walk acc (Some (attrs, [p])) rest
+  let rec walk acc run emissions =
+    match emissions, run with
+    | [], run -> List.rev (flush run acc)
+    | Algorithm.Withdraw p :: rest, Withdraw_run ps ->
+      walk acc (Withdraw_run (p :: ps)) rest
+    | Algorithm.Withdraw p :: rest, run -> walk (flush run acc) (Withdraw_run [p]) rest
+    | Algorithm.Announce (p, attrs) :: rest, Announce_run (cur_attrs, nlri)
+      when Bgp.Attributes.equal attrs cur_attrs ->
+      walk acc (Announce_run (cur_attrs, p :: nlri)) rest
+    | Algorithm.Announce (p, attrs) :: rest, run ->
+      walk (flush run acc) (Announce_run (attrs, [p])) rest
   in
-  walk [] None emissions
+  walk [] No_run emissions
 
 let send_to_downstream (d : downstream) update =
   if Bgp.Session.state d.down_peer.session = Bgp.Session.Established then
@@ -115,11 +139,16 @@ let send_to_downstream (d : downstream) update =
   else d.down_pending <- update :: d.down_pending
 
 let relay_emissions t emissions =
+  Obs.Metrics.incr t.m_emissions ~by:(List.length emissions);
+  Obs.Metrics.set t.m_groups_live (float_of_int (Backup_group.live_count t.groups));
   match updates_of_emissions emissions with
   | [] -> ()
   | updates ->
+    let n_updates = List.length updates in
     List.iter
-      (fun d -> List.iter (fun u -> send_to_downstream d u) updates)
+      (fun d ->
+        Obs.Metrics.incr t.m_updates_sent ~by:n_updates;
+        List.iter (fun u -> send_to_downstream d u) updates)
       (List.rev t.downstreams)
 
 (* --- upstream update processing (decision process + Listing 1) -------- *)
@@ -138,6 +167,7 @@ let peer_router_id (peer : Bgp.Speaker.peer) =
 let handle_upstream_update t (up : upstream) update =
   if not (List.exists (Net.Ipv4.equal up.up_ip) t.failed) then begin
     t.updates_processed <- t.updates_processed + 1;
+    Obs.Metrics.incr t.m_updates;
     let update = import_policy up update in
     let igp_cost =
       match t.igp_cost_fn, update.Bgp.Message.attrs with
@@ -153,9 +183,35 @@ let handle_upstream_update t (up : upstream) update =
 
 (* --- failure handling (Listing 2 + slow path) -------------------------- *)
 
+(* Bracket the failover's flow-mods with a barrier: the switch answers
+   it only after every queued rule change has been applied, so the
+   barrier reply timestamps the instant the data plane actually
+   converged. The BFD-down instant is remembered against the barrier's
+   xid; the reply observes the difference into the failover
+   histogram. *)
+let send_failover_barrier t ~down_at =
+  match t.to_switch with
+  | None -> ()
+  | Some send ->
+    let xid = t.next_xid in
+    t.next_xid <- t.next_xid + 1;
+    t.failover_waits <- (xid, down_at) :: t.failover_waits;
+    send (Openflow.Message.Barrier_request xid)
+
+let handle_barrier_reply t xid =
+  match List.assoc_opt xid t.failover_waits with
+  | None -> ()
+  | Some down_at ->
+    t.failover_waits <- List.remove_assoc xid t.failover_waits;
+    let latency = Sim.Time.sub (Sim.Engine.now t.engine) down_at in
+    Obs.Histogram.observe t.m_failover (Sim.Time.to_sec latency);
+    trace t "%s: failover data plane converged %.3f ms after detection" t.name
+      (Sim.Time.to_ms latency)
+
 let handle_peer_failure t failed_ip =
   if not (List.exists (Net.Ipv4.equal failed_ip) t.failed) then begin
     t.failed <- failed_ip :: t.failed;
+    let down_at = Sim.Engine.now t.engine in
     trace t "%s: peer %a failed; scheduling reroute" t.name Net.Ipv4.pp failed_ip;
     ignore
       (Sim.Engine.schedule_after t.engine t.reroute_latency (fun () ->
@@ -165,6 +221,7 @@ let handle_peer_failure t failed_ip =
                (Backup_group.with_member t.groups failed_ip)
            in
            t.failovers <- t.failovers + 1;
+           send_failover_barrier t ~down_at;
            trace t "%s: rerouted %d backup-groups away from %a" t.name flow_mods
              Net.Ipv4.pp failed_ip;
            (match t.failover_cb with
@@ -263,11 +320,11 @@ let connect_switch ?(use_codec = false) t switch =
     match msg with
     | Openflow.Message.Packet_in { in_port; frame } ->
       handle_packet_in t !send_ref ~in_port frame
+    | Openflow.Message.Barrier_reply xid -> handle_barrier_reply t xid
     | Openflow.Message.Hello | Openflow.Message.Echo_request _
     | Openflow.Message.Echo_reply _ | Openflow.Message.Features_request
     | Openflow.Message.Features_reply _ | Openflow.Message.Flow_mod _
-    | Openflow.Message.Packet_out _ | Openflow.Message.Barrier_request _
-    | Openflow.Message.Barrier_reply _ ->
+    | Openflow.Message.Packet_out _ | Openflow.Message.Barrier_request _ ->
       ()
   in
   let raw_send = Openflow.Switch.connect_controller switch from_switch in
@@ -276,12 +333,28 @@ let connect_switch ?(use_codec = false) t switch =
   in
   send_ref := send;
   t.to_switch <- Some send;
-  let provisioner = Provisioner.create ~send () in
+  let provisioner = Provisioner.create ~metrics:(Sim.Engine.metrics t.engine) ~send () in
   t.provisioner <- Some provisioner;
   (* Rules must exist before the router can tag traffic with a fresh
      VMAC: installation is triggered directly by group creation. *)
   Backup_group.on_create t.groups (fun binding ->
-      Provisioner.install_group provisioner binding)
+      Provisioner.install_group provisioner binding);
+  (* Groups nobody references any more are garbage-collected after a
+     linger period. The linger matters: the router keeps tagging with
+     the old VMAC until its own FIB catches up with the slow-path
+     re-announcements, so the rule must outlive the reference by a
+     grace interval rather than vanish immediately. A group re-acquired
+     while idle survives ([destroy] refuses). *)
+  Backup_group.on_idle t.groups (fun binding ->
+      ignore
+        (Sim.Engine.schedule_after t.engine t.group_linger (fun () ->
+             if Backup_group.destroy t.groups binding then begin
+               Provisioner.uninstall_group provisioner binding;
+               Obs.Metrics.set t.m_groups_live
+                 (float_of_int (Backup_group.live_count t.groups));
+               trace t "%s: collected idle group %a" t.name Backup_group.pp_binding
+                 binding
+             end)))
 
 let attach_dataplane t endhost =
   t.dataplane <- Some endhost;

@@ -35,16 +35,33 @@ val create :
   router_id:Net.Ipv4.t ->
   ?group_size:int ->
   ?reroute_latency:Sim.Time.t ->
+  ?group_linger:Sim.Time.t ->
   ?bfd_detect_mult:int ->
   ?bfd_tx_interval:Sim.Time.t ->
   ?vnh_pool:Net.Prefix.t ->
   ?vmac_base:Net.Mac.t ->
   unit ->
   t
-(** Defaults: [group_size] 2; [reroute_latency] 25 ms; BFD 3 × 40 ms;
-    allocator defaults of {!Vnh.create}. *)
+(** Defaults: [group_size] 2; [reroute_latency] 25 ms; [group_linger]
+    5 s (how long an unreferenced backup-group keeps its rule before
+    being garbage-collected and its VNH/VMAC recycled); BFD 3 × 40 ms;
+    allocator defaults of {!Vnh.create}.
+
+    The controller registers its metrics in the engine's registry:
+    counters [controller.updates_processed], [controller.updates_sent]
+    (UPDATE messages on the wire towards routers) and
+    [controller.emissions]; gauge [controller.groups_live]; histogram
+    [controller.failover_seconds] (BFD-down to last failover flow-mod
+    applied, measured with an OpenFlow barrier). *)
 
 val name : t -> string
+
+val updates_of_emissions : Algorithm.emission list -> Bgp.Message.update list
+(** Packs a stream of emissions into the fewest UPDATE messages a real
+    speaker would put on the wire: consecutive announcements sharing an
+    attribute block become one update with many NLRI; consecutive
+    withdrawals become one update's [withdrawn] list. Exposed for
+    tests. *)
 
 val connect_switch : ?use_codec:bool -> t -> Openflow.Switch.t -> unit
 (** Must be called before {!start}. With [use_codec:true] every message

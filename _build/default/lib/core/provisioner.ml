@@ -25,9 +25,10 @@ type t = {
   dead : unit Ip_table.t;
   selected_by_vmac : Net.Ipv4.t Mac_table.t;
   mutable flow_mods : int;
+  m_flow_mods : Obs.Metrics.counter;
 }
 
-let create ?(rule_priority = 100) ~send () =
+let create ?(rule_priority = 100) ?(metrics = Obs.Metrics.default) ~send () =
   {
     rule_priority;
     send;
@@ -35,6 +36,7 @@ let create ?(rule_priority = 100) ~send () =
     dead = Ip_table.create 4;
     selected_by_vmac = Mac_table.create 64;
     flow_mods = 0;
+    m_flow_mods = Obs.Metrics.counter metrics "provisioner.flow_mods";
   }
 
 let declare_peer t info = Ip_table.replace t.peers info.pi_ip info
@@ -58,6 +60,7 @@ let send_group_rule t (binding : Backup_group.binding) target =
       actions
   in
   t.flow_mods <- t.flow_mods + 1;
+  Obs.Metrics.incr t.m_flow_mods;
   t.send (Openflow.Message.Flow_mod fm)
 
 let install_group t (binding : Backup_group.binding) =
@@ -79,6 +82,18 @@ let install_group t (binding : Backup_group.binding) =
   | None ->
     Mac_table.remove t.selected_by_vmac binding.vmac;
     send_group_rule t binding None
+
+let uninstall_group t (binding : Backup_group.binding) =
+  Mac_table.remove t.selected_by_vmac binding.vmac;
+  let fm =
+    Openflow.Flow_table.flow_mod ~priority:t.rule_priority
+      Openflow.Flow_table.Delete_strict
+      (Openflow.Ofmatch.dl_dst binding.Backup_group.vmac)
+      []
+  in
+  t.flow_mods <- t.flow_mods + 1;
+  Obs.Metrics.incr t.m_flow_mods;
+  t.send (Openflow.Message.Flow_mod fm)
 
 let selected t (binding : Backup_group.binding) =
   Mac_table.find_opt t.selected_by_vmac binding.vmac

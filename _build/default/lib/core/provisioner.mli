@@ -18,12 +18,14 @@ type t
 
 val create :
   ?rule_priority:int ->
+  ?metrics:Obs.Metrics.t ->
   send:(Openflow.Message.t -> unit) ->
   unit ->
   t
 (** [send] is the switch control channel (from
     [Openflow.Switch.connect_controller]). [rule_priority] defaults to
-    100. *)
+    100; [metrics] (default the process-wide registry) receives the
+    "provisioner.flow_mods" counter. *)
 
 val declare_peer : t -> peer_info -> unit
 (** Registers a peer's data-plane coordinates. Must precede installing
@@ -38,6 +40,11 @@ val install_group : t -> Backup_group.binding -> unit
     drop rule.
     @raise Invalid_argument if a member was never {!declare_peer}ed (a
     wiring bug, surfaced loudly). *)
+
+val uninstall_group : t -> Backup_group.binding -> unit
+(** Removes the group's rule (strict delete on its VMAC match) — the
+    tear-down half of the group lifecycle, issued when a destroyed
+    group's rule is garbage-collected. *)
 
 val selected : t -> Backup_group.binding -> Net.Ipv4.t option
 (** The member the group's rule currently points at. *)

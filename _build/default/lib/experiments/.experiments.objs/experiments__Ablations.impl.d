@@ -1,1 +1,1 @@
-lib/experiments/ablations.ml: Array Fmt List Sim Stats String Topology
+lib/experiments/ablations.ml: Array Fmt List Obs Sim Stats String Topology

@@ -1,1 +1,1 @@
-lib/experiments/ablations.mli: Format Sim
+lib/experiments/ablations.mli: Format Obs Sim

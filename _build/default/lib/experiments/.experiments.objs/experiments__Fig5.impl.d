@@ -1,1 +1,1 @@
-lib/experiments/fig5.ml: Array Buffer Bytes Float Fmt Int64 List Sim Stats String Topology
+lib/experiments/fig5.ml: Array Buffer Bytes Float Fmt Int64 List Obs Sim Stats String Topology Unix

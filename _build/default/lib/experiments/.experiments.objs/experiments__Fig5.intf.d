@@ -1,1 +1,1 @@
-lib/experiments/fig5.mli: Format Stats Topology
+lib/experiments/fig5.mli: Format Obs Stats Topology

@@ -1,1 +1,1 @@
-lib/experiments/micro.ml: Array Bgp Fmt List Net Stats Supercharger Unix Workloads
+lib/experiments/micro.ml: Array Bgp Fmt List Net Obs Stats Supercharger Unix Workloads

@@ -1,1 +1,1 @@
-lib/experiments/micro.mli: Format
+lib/experiments/micro.mli: Format Obs

@@ -1,1 +1,1 @@
-lib/experiments/stats.ml: Array Float Fmt
+lib/experiments/stats.ml: Array Float Fmt Obs

@@ -1,1 +1,1 @@
-lib/experiments/stats.mli: Format
+lib/experiments/stats.mli: Format Obs

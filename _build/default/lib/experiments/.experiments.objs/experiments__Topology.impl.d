@@ -1,1 +1,1 @@
-lib/experiments/topology.ml: Array Bgp Fmt Fun Hashtbl Int64 List Net Openflow Option Router Sim Stats String Supercharger Trafficgen Workloads
+lib/experiments/topology.ml: Array Bgp Fmt Fun Hashtbl Int64 List Net Obs Openflow Option Router Sim Stats String Supercharger Trafficgen Workloads

@@ -1,1 +1,1 @@
-lib/experiments/topology.mli: Format Sim
+lib/experiments/topology.mli: Format Obs Sim

@@ -3,6 +3,11 @@ type row = {
   mode : Topology.mode;
   summary : Stats.summary;
   unrecovered : int;
+  flow_mods : int;
+  updates_processed : int;
+  wall_s : float;
+  updates_per_sec : float;
+  failover : Obs.Histogram.t;
 }
 
 let paper_sizes = [1_000; 5_000; 10_000; 50_000; 100_000; 200_000; 300_000; 400_000; 500_000]
@@ -22,6 +27,10 @@ let run ?(sizes = paper_sizes) ?(repetitions = 3) ?(monitored_flows = 100)
         (fun mode ->
           let samples = ref [] in
           let unrecovered = ref 0 in
+          let flow_mods = ref 0 in
+          let updates_processed = ref 0 in
+          let wall_s = ref 0.0 in
+          let failover = Obs.Histogram.create () in
           for rep = 0 to repetitions - 1 do
             progress
               (Fmt.str "fig5: %a %d prefixes, repetition %d/%d" Topology.pp_mode
@@ -33,21 +42,69 @@ let run ?(sizes = paper_sizes) ?(repetitions = 3) ?(monitored_flows = 100)
                 seed = Int64.add seed (Int64.of_int rep);
               }
             in
+            let t0 = Unix.gettimeofday () in
             let result = Topology.run params in
+            wall_s := !wall_s +. (Unix.gettimeofday () -. t0);
             Array.iter
               (function
                 | Some t -> samples := Sim.Time.to_sec t :: !samples
                 | None -> incr unrecovered)
-              result.Topology.convergence
+              result.Topology.convergence;
+            (match
+               Obs.Metrics.find_counter result.Topology.metrics
+                 "provisioner.flow_mods"
+             with
+            | Some n -> flow_mods := !flow_mods + n
+            | None -> ());
+            updates_processed :=
+              !updates_processed + result.Topology.updates_processed;
+            match
+              Obs.Metrics.find_histogram result.Topology.metrics
+                "controller.failover_seconds"
+            with
+            | Some h -> Obs.Histogram.merge_into ~into:failover h
+            | None -> ()
           done;
           {
             n_prefixes;
             mode;
             summary = Stats.summarize (Array.of_list !samples);
             unrecovered = !unrecovered;
+            flow_mods = !flow_mods;
+            updates_processed = !updates_processed;
+            wall_s = !wall_s;
+            updates_per_sec =
+              (if !wall_s > 0.0 then float_of_int !updates_processed /. !wall_s
+               else 0.0);
+            failover;
           })
         modes)
     sizes
+
+let to_json rows =
+  let row_json row =
+    Obs.Json.Obj
+      [
+        ("prefixes", Obs.Json.Int row.n_prefixes);
+        ("mode", Obs.Json.String (Fmt.str "%a" Topology.pp_mode row.mode));
+        ("convergence_seconds", Stats.summary_to_json row.summary);
+        ("unrecovered", Obs.Json.Int row.unrecovered);
+        ("flow_mods", Obs.Json.Int row.flow_mods);
+        ("updates_processed", Obs.Json.Int row.updates_processed);
+        ("wall_seconds", Obs.Json.Float row.wall_s);
+        ("updates_per_sec", Obs.Json.Float row.updates_per_sec);
+        ("failover_seconds", Obs.Histogram.to_json row.failover);
+      ]
+  in
+  Obs.Json.Obj
+    [
+      ( "paper_max_seconds",
+        Obs.Json.Obj
+          (List.map
+             (fun (n, s) -> (string_of_int n, Obs.Json.Float s))
+             paper_max_seconds) );
+      ("rows", Obs.Json.List (List.map row_json rows));
+    ]
 
 let to_csv rows =
   let buf = Buffer.create 1024 in

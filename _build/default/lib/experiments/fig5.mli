@@ -10,6 +10,17 @@ type row = {
   mode : Topology.mode;
   summary : Stats.summary;  (** over repetitions × flows, in seconds *)
   unrecovered : int;
+  flow_mods : int;  (** switch flow-mods issued, summed over repetitions *)
+  updates_processed : int;
+      (** BGP updates run through the controllers, summed over
+          repetitions (0 in plain mode) *)
+  wall_s : float;  (** wall-clock spent simulating this point *)
+  updates_per_sec : float;
+      (** [updates_processed /. wall_s] — simulator control-plane
+          throughput *)
+  failover : Obs.Histogram.t;
+      (** [controller.failover_seconds] merged across repetitions
+          (empty in plain mode) *)
 }
 
 val paper_sizes : int list
@@ -30,6 +41,12 @@ val run :
   row list
 (** Runs the full sweep (both modes per size). Defaults: the paper's
     sizes, 3 repetitions, 100 flows. *)
+
+val to_json : row list -> Obs.Json.t
+(** The sweep as a JSON object: [paper_max_seconds] reference values
+    plus one object per (size, mode) with the convergence percentiles,
+    flow-mod and update counts, updates/sec, and the failover-latency
+    histogram snapshot. *)
 
 val pp_table : Format.formatter -> row list -> unit
 (** Prints the figure as a table, one row per (size, mode), with the

@@ -40,6 +40,20 @@ let summarize xs =
     mean = sum /. float_of_int n;
   }
 
+let summary_to_json s =
+  Obs.Json.Obj
+    [
+      ("n", Obs.Json.Int s.n);
+      ("min", Obs.Json.Float s.min);
+      ("p5", Obs.Json.Float s.p5);
+      ("q1", Obs.Json.Float s.q1);
+      ("p50", Obs.Json.Float s.median);
+      ("q3", Obs.Json.Float s.q3);
+      ("p95", Obs.Json.Float s.p95);
+      ("max", Obs.Json.Float s.max);
+      ("mean", Obs.Json.Float s.mean);
+    ]
+
 let pp_summary ppf s =
   Fmt.pf ppf
     "n=%d min=%.3fs p5=%.3fs q1=%.3fs med=%.3fs q3=%.3fs p95=%.3fs max=%.3fs mean=%.3fs"

@@ -21,5 +21,9 @@ type summary = {
 
 val summarize : float array -> summary
 
+val summary_to_json : summary -> Obs.Json.t
+(** The summary as a JSON object; the median is keyed ["p50"] for
+    consistency with the histogram snapshots. *)
+
 val pp_summary : Format.formatter -> summary -> unit
 (** One-line rendering in seconds with millisecond precision. *)

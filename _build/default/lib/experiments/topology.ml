@@ -76,11 +76,13 @@ type result = {
       (* every straddling gap per flow; > 1 entry under [Fail_two] *)
   flow_mods_at_failover : int;
   backup_groups : int;
+  updates_processed : int;
   fib_writes : int;
   events : int;
   probes : int;
   replica_digests : string list;
   trace_entries : Sim.Trace.entry list;
+  metrics : Obs.Metrics.t;
 }
 
 let convergence_seconds r =
@@ -551,10 +553,15 @@ let run params =
     outages;
     flow_mods_at_failover;
     backup_groups;
+    updates_processed =
+      List.fold_left
+        (fun acc c -> acc + Supercharger.Controller.updates_processed c)
+        0 !controllers;
     fib_writes = Router.Fib.applied_count fib;
     events = Sim.Engine.events_processed engine;
     probes = Trafficgen.Monitor.probes_sent monitor;
     replica_digests;
     trace_entries =
       (if params.trace then Sim.Trace.entries (Sim.Engine.trace engine) else []);
+    metrics = Sim.Engine.metrics engine;
   }

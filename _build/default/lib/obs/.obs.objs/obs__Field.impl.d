@@ -1,0 +1,1 @@
+lib/obs/field.ml: Fmt Json List

@@ -1,0 +1,1 @@
+lib/obs/field.mli: Format Json

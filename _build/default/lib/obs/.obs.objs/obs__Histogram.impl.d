@@ -1,0 +1,1 @@
+lib/obs/histogram.ml: Array Float Fmt Json Stdlib

@@ -1,0 +1,1 @@
+lib/obs/histogram.mli: Format Json

@@ -1,0 +1,1 @@
+lib/obs/metrics.ml: Fmt Hashtbl Histogram Json List Option String

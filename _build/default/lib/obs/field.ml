@@ -1,0 +1,35 @@
+type value =
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+
+type t = string * value
+
+let bool k v = (k, Bool v)
+let int k v = (k, Int v)
+let float k v = (k, Float v)
+let string k v = (k, String v)
+
+let name (k, _) = k
+
+let find key fields =
+  match List.assoc_opt key fields with Some v -> Some v | None -> None
+
+let value_to_json = function
+  | Bool b -> Json.Bool b
+  | Int i -> Json.Int i
+  | Float f -> Json.Float f
+  | String s -> Json.String s
+
+let to_json fields = Json.Obj (List.map (fun (k, v) -> (k, value_to_json v)) fields)
+
+let pp_value ppf = function
+  | Bool b -> Fmt.bool ppf b
+  | Int i -> Fmt.int ppf i
+  | Float f -> Fmt.pf ppf "%g" f
+  | String s -> Fmt.string ppf s
+
+let pp ppf (k, v) = Fmt.pf ppf "%s=%a" k pp_value v
+
+let pp_list ppf fields = Fmt.(list ~sep:sp pp) ppf fields

@@ -1,0 +1,31 @@
+(** Typed key/value fields for structured trace events.
+
+    A field is a name plus a primitive value; events carry a small list
+    of them instead of a preformatted string, so consumers (tests, JSON
+    export) can match on values without re-parsing text. *)
+
+type value =
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+
+type t = string * value
+
+val bool : string -> bool -> t
+val int : string -> int -> t
+val float : string -> float -> t
+val string : string -> string -> t
+
+val name : t -> string
+val find : string -> t list -> value option
+
+val to_json : t list -> Json.t
+(** Fields as one JSON object, in list order. *)
+
+val pp_value : Format.formatter -> value -> unit
+val pp : Format.formatter -> t -> unit
+(** [key=value]. *)
+
+val pp_list : Format.formatter -> t list -> unit
+(** Space-separated [key=value] pairs. *)

@@ -1,0 +1,71 @@
+type 'a t = {
+  mutable slots : 'a option array;
+  mutable head : int; (* index of the oldest element *)
+  mutable len : int; (* retained *)
+  mutable pushed : int; (* ever pushed *)
+  cap : int option; (* retention bound; None = unbounded *)
+}
+
+let initial_size = 16
+
+let create ?capacity () =
+  let cap = Option.map (fun c -> if c < 1 then 1 else c) capacity in
+  let size =
+    match cap with Some c when c < initial_size -> c | Some _ | None -> initial_size
+  in
+  { slots = Array.make size None; head = 0; len = 0; pushed = 0; cap }
+
+let length t = t.len
+let total t = t.pushed
+let dropped t = t.pushed - t.len
+let capacity t = t.cap
+
+let grow t =
+  let old = t.slots in
+  let size = Array.length old in
+  let target =
+    match t.cap with Some c -> min c (size * 2) | None -> size * 2
+  in
+  let fresh = Array.make target None in
+  for i = 0 to t.len - 1 do
+    fresh.(i) <- old.((t.head + i) mod size)
+  done;
+  t.slots <- fresh;
+  t.head <- 0
+
+let push t x =
+  let size = Array.length t.slots in
+  let at_cap = match t.cap with Some c -> t.len = c | None -> false in
+  if at_cap then begin
+    (* Overwrite the oldest slot and advance the head. *)
+    t.slots.(t.head) <- Some x;
+    t.head <- (t.head + 1) mod size
+  end
+  else begin
+    if t.len = size then grow t;
+    let size = Array.length t.slots in
+    t.slots.((t.head + t.len) mod size) <- Some x;
+    t.len <- t.len + 1
+  end;
+  t.pushed <- t.pushed + 1
+
+let iter f t =
+  let size = Array.length t.slots in
+  for i = 0 to t.len - 1 do
+    match t.slots.((t.head + i) mod size) with
+    | Some x -> f x
+    | None -> ()
+  done
+
+let fold f acc t =
+  let acc = ref acc in
+  iter (fun x -> acc := f !acc x) t;
+  !acc
+
+let to_list t = List.rev (fold (fun acc x -> x :: acc) [] t)
+
+let clear t =
+  Array.fill t.slots 0 (Array.length t.slots) None;
+  t.head <- 0;
+  t.len <- 0;
+  t.pushed <- 0

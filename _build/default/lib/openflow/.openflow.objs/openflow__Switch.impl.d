@@ -1,1 +1,1 @@
-lib/openflow/switch.ml: Action Array Flow_table Fmt Fun List Message Net Ofmatch Option Sim
+lib/openflow/switch.ml: Action Array Flow_table Fmt Fun List Message Net Obs Ofmatch Option Sim

@@ -56,10 +56,17 @@ type t = {
   mutable priorities : int list; (* descending, live priorities *)
   index : slot Strict_index.t;
   mutable size : int;
+  mutable lookups : int;
 }
 
 let create () =
-  { buckets = Hashtbl.create 16; priorities = []; index = Strict_index.create 64; size = 0 }
+  {
+    buckets = Hashtbl.create 16;
+    priorities = [];
+    index = Strict_index.create 64;
+    size = 0;
+    lookups = 0;
+  }
 
 let rec insert_priority p = function
   | [] -> [p]
@@ -188,6 +195,7 @@ let rec apply t fm =
 exception Found of entry
 
 let lookup t ctx =
+  t.lookups <- t.lookups + 1;
   match
     iter_buckets t (fun _ slot ->
         if Ofmatch.matches slot.entry.ofmatch ctx then raise_notrace (Found slot.entry))
@@ -203,6 +211,7 @@ let entries t =
   List.rev !acc
 
 let size t = t.size
+let lookups t = t.lookups
 
 let clear t =
   Hashtbl.reset t.buckets;

@@ -50,6 +50,10 @@ val entries : t -> entry list
 (** Priority-descending (lookup) order. *)
 
 val size : t -> int
+
+val lookups : t -> int
+(** Total [lookup] calls since creation (hits and misses). *)
+
 val clear : t -> unit
 
 val pp : Format.formatter -> t -> unit

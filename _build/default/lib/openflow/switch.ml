@@ -19,6 +19,10 @@ type t = {
   mutable forwarded : int;
   mutable dropped : int;
   mutable packet_ins : int;
+  (* metric handles, registered against the engine's registry *)
+  m_flow_mods : Obs.Metrics.counter;
+  m_packet_ins : Obs.Metrics.counter;
+  m_rules : Obs.Metrics.gauge;
 }
 
 let trace t fmt =
@@ -29,6 +33,7 @@ let create engine ?(name = "switch") ?(datapath_id = 1L)
     ?(flow_mod_latency = Sim.Time.of_ms 2) ?(forward_latency = Sim.Time.of_us 4)
     ~n_ports () =
   if n_ports <= 0 then invalid_arg "Switch.create: n_ports";
+  let scope = Obs.Metrics.Scope.v (Sim.Engine.metrics engine) ("switch." ^ name) in
   {
     engine;
     name;
@@ -45,6 +50,9 @@ let create engine ?(name = "switch") ?(datapath_id = 1L)
     forwarded = 0;
     dropped = 0;
     packet_ins = 0;
+    m_flow_mods = Obs.Metrics.Scope.counter scope "flow_mods_applied";
+    m_packet_ins = Obs.Metrics.Scope.counter scope "packet_ins";
+    m_rules = Obs.Metrics.Scope.gauge scope "rules";
   }
 
 let name t = t.name
@@ -77,6 +85,7 @@ let receive t ~port frame =
     if t.controllers = [] then t.dropped <- t.dropped + 1
     else begin
       t.packet_ins <- t.packet_ins + 1;
+      Obs.Metrics.incr t.m_packet_ins;
       send_to_controllers t (Message.Packet_in { in_port = port; frame })
     end
   | Some entry ->
@@ -86,6 +95,7 @@ let receive t ~port frame =
 
     if punt then begin
       t.packet_ins <- t.packet_ins + 1;
+      Obs.Metrics.incr t.m_packet_ins;
       send_to_controllers t (Message.Packet_in { in_port = port; frame = rewritten })
     end;
     let flood_ports =
@@ -124,6 +134,8 @@ let rec drain_control_queue t =
         (Sim.Engine.schedule_after t.engine t.flow_mod_latency (fun () ->
              Flow_table.apply t.table fm;
              t.flow_mods_applied <- t.flow_mods_applied + 1;
+             Obs.Metrics.incr t.m_flow_mods;
+             Obs.Metrics.set t.m_rules (float_of_int (Flow_table.size t.table));
              trace t "%s: applied %a" t.name Message.pp (Message.Flow_mod fm);
              (match t.flow_applied_cb with Some f -> f fm | None -> ());
              drain_control_queue t))

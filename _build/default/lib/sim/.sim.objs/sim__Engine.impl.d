@@ -1,1 +1,1 @@
-lib/sim/engine.ml: Heap Rng Time Trace
+lib/sim/engine.ml: Heap Obs Rng Time Trace

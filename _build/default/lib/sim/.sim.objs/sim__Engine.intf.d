@@ -1,1 +1,1 @@
-lib/sim/engine.mli: Rng Time Trace
+lib/sim/engine.mli: Obs Rng Time Trace

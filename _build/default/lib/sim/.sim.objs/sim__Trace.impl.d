@@ -1,1 +1,1 @@
-lib/sim/trace.ml: Fmt Format List String Time
+lib/sim/trace.ml: Fmt Format List Obs String Time

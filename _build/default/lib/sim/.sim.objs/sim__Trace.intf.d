@@ -1,1 +1,1 @@
-lib/sim/trace.mli: Format Time
+lib/sim/trace.mli: Format Obs Time

@@ -11,17 +11,20 @@ type t = {
   queue : event Heap.t;
   root_rng : Rng.t;
   trace : Trace.t;
+  metrics : Obs.Metrics.t;
   mutable processed : int;
   mutable live : int; (* queued, not cancelled *)
 }
 
-let create ?(seed = 1L) ?trace () =
+let create ?(seed = 1L) ?trace ?metrics () =
   let trace = match trace with Some tr -> tr | None -> Trace.create () in
+  let metrics = match metrics with Some m -> m | None -> Obs.Metrics.create () in
   {
     clock = Time.zero;
     queue = Heap.create ~cmp:(fun a b -> Time.compare a.at b.at) ();
     root_rng = Rng.create ~seed;
     trace;
+    metrics;
     processed = 0;
     live = 0;
   }
@@ -29,6 +32,7 @@ let create ?(seed = 1L) ?trace () =
 let now t = t.clock
 let rng t = t.root_rng
 let trace t = t.trace
+let metrics t = t.metrics
 
 let schedule_at t instant f =
   let at = Time.max instant t.clock in

@@ -11,10 +11,11 @@ type t
 type handle
 (** A scheduled event, usable for cancellation. *)
 
-val create : ?seed:int64 -> ?trace:Trace.t -> unit -> t
+val create : ?seed:int64 -> ?trace:Trace.t -> ?metrics:Obs.Metrics.t -> unit -> t
 (** [create ()] is a fresh engine at time {!Time.zero}. [seed] (default
     [1L]) seeds the engine's root {!Rng}; [trace] (default a fresh enabled
-    trace) receives component events. *)
+    trace) receives component events; [metrics] (default a fresh registry)
+    collects the run's counters, gauges and histograms. *)
 
 val now : t -> Time.t
 
@@ -23,6 +24,11 @@ val rng : t -> Rng.t
     set-up time rather than drawing from it during the run. *)
 
 val trace : t -> Trace.t
+
+val metrics : t -> Obs.Metrics.t
+(** The run's metrics registry. Components attached to this engine
+    register their counters and histograms here, so every run's numbers
+    are isolated from every other run's. *)
 
 val schedule_at : t -> Time.t -> (unit -> unit) -> handle
 (** [schedule_at t instant f] runs [f] when the clock reaches [instant].

@@ -1,1 +1,1 @@
-lib/trafficgen/monitor.ml: Array Flow List Net Sim Sink
+lib/trafficgen/monitor.ml: Array Flow List Net Obs Sim Sink

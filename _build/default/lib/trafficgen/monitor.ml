@@ -11,6 +11,7 @@ type t = {
   first_send_since_delivery : Sim.Time.t option array;
   mutable failure_at : Sim.Time.t option;
   mutable probes : int;
+  m_loss_gap : Obs.Histogram.t; (* per-flow outage gaps, seconds *)
 }
 
 let create engine ?(grid = Flow.grid_default) ~sink ~send ~flows () =
@@ -27,6 +28,8 @@ let create engine ?(grid = Flow.grid_default) ~sink ~send ~flows () =
       first_send_since_delivery = Array.make (Array.length flows) None;
       failure_at = None;
       probes = 0;
+      m_loss_gap =
+        Obs.Metrics.histogram (Sim.Engine.metrics engine) "monitor.loss_gap_seconds";
     }
   in
   Sink.on_delivery sink (fun flow ->
@@ -45,8 +48,10 @@ let create engine ?(grid = Flow.grid_default) ~sink ~send ~flows () =
             Sim.Time.(sent <= Sim.Time.sub now (Sim.Time.mul t.grid 2))
           | None -> false
         in
-        if Sim.Time.(gap > Sim.Time.mul t.grid 2) && lost_probe_inside then
-          t.gaps.(index) <- gap :: t.gaps.(index)
+        if Sim.Time.(gap > Sim.Time.mul t.grid 2) && lost_probe_inside then begin
+          t.gaps.(index) <- gap :: t.gaps.(index);
+          Obs.Histogram.observe t.m_loss_gap (Sim.Time.to_sec gap)
+        end
       | _ -> ());
       t.first_send_since_delivery.(index) <- None;
       t.last_arrival.(index) <- Some now);

@@ -1,1 +1,1 @@
-test/test_controller.ml: Alcotest Array Bgp Fmt Int64 List Net Openflow Option Router Sim Supercharger Workloads
+test/test_controller.ml: Alcotest Array Bgp Fmt Int64 List Net Obs Openflow Option Router Sim Supercharger Workloads

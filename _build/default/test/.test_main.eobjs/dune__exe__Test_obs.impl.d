@@ -1,0 +1,1 @@
+test/test_obs.ml: Alcotest Float Fmt Fun Gen List Obs QCheck QCheck_alcotest Stdlib

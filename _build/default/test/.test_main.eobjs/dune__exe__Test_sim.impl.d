@@ -1,1 +1,1 @@
-test/test_sim.ml: Alcotest Array Fun Int Int64 List QCheck QCheck_alcotest Sim
+test/test_sim.ml: Alcotest Array Fmt Format Fun Int Int64 List Obs QCheck QCheck_alcotest Sim String

@@ -387,6 +387,123 @@ let controller_tests =
         announce rig 0 ["1.0.0.0/24"; "2.0.0.0/24"];
         Alcotest.(check bool) "counted" true
           (Supercharger.Controller.updates_processed rig.controller >= 1));
+    Alcotest.test_case "consecutive withdrawals pack into one UPDATE" `Quick
+      (fun () ->
+        let p s = Net.Prefix.v s in
+        let attrs nh =
+          Bgp.Attributes.make
+            ~as_path:[Bgp.Attributes.Seq [Bgp.Asn.of_int 65002]]
+            ~next_hop:(ip nh) ()
+        in
+        let a = attrs "10.0.0.2" in
+        let emissions =
+          [
+            Supercharger.Algorithm.Announce (p "1.0.0.0/24", a);
+            Supercharger.Algorithm.Announce (p "2.0.0.0/24", a);
+            Supercharger.Algorithm.Withdraw (p "3.0.0.0/24");
+            Supercharger.Algorithm.Withdraw (p "4.0.0.0/24");
+            Supercharger.Algorithm.Withdraw (p "5.0.0.0/24");
+            Supercharger.Algorithm.Announce (p "6.0.0.0/24", attrs "10.0.0.3");
+          ]
+        in
+        match Supercharger.Controller.updates_of_emissions emissions with
+        | [u1; u2; u3] ->
+          Alcotest.(check (list string)) "shared-attrs announcements packed"
+            ["1.0.0.0/24"; "2.0.0.0/24"]
+            (List.map Net.Prefix.to_string u1.Bgp.Message.nlri);
+          Alcotest.(check (list string)) "withdrawal run packed"
+            ["3.0.0.0/24"; "4.0.0.0/24"; "5.0.0.0/24"]
+            (List.map Net.Prefix.to_string u2.Bgp.Message.withdrawn);
+          Alcotest.(check bool) "withdrawal update has no attrs" true
+            (u2.Bgp.Message.attrs = None && u2.Bgp.Message.nlri = []);
+          Alcotest.(check (list string)) "different attrs break the run"
+            ["6.0.0.0/24"]
+            (List.map Net.Prefix.to_string u3.Bgp.Message.nlri)
+        | us -> Alcotest.failf "expected 3 updates, got %d" (List.length us));
+    Alcotest.test_case "a withdrawal storm reaches the router as one UPDATE" `Quick
+      (fun () ->
+        let rig = make_rig () in
+        let prefixes = List.init 10 (fun i -> Fmt.str "7.0.%d.0/24" i) in
+        announce rig 0 prefixes;
+        announce rig 1 prefixes;
+        (* Backup withdrawing first leaves each prefix single-homed; the
+           primary's withdrawal then emits ten withdrawals in one batch,
+           which must ride in a single UPDATE's withdrawn list. *)
+        Router.Peer.announce_to_all rig.peers.(1)
+          { Bgp.Message.withdrawn = List.map Net.Prefix.v prefixes;
+            attrs = None; nlri = [] };
+        run_for rig 0.5;
+        Router.Peer.announce_to_all rig.peers.(0)
+          { Bgp.Message.withdrawn = List.map Net.Prefix.v prefixes;
+            attrs = None; nlri = [] };
+        run_for rig 0.5;
+        match !(rig.router_rx) with
+        | { Bgp.Message.withdrawn; attrs = None; nlri = [] } :: _ ->
+          Alcotest.(check int) "all ten in one message" 10 (List.length withdrawn)
+        | _ -> Alcotest.fail "head of router_rx is not a pure withdrawal");
+    Alcotest.test_case "group churn returns groups, rules and VNHs to baseline"
+      `Quick (fun () ->
+        let rig = make_rig ~n_peers:3 () in
+        let groups = Supercharger.Controller.groups rig.controller in
+        announce rig 0 ["1.0.0.0/24"];
+        announce rig 1 ["1.0.0.0/24"];
+        let baseline_groups = Supercharger.Backup_group.count groups in
+        let baseline_rules =
+          Openflow.Flow_table.size (Openflow.Switch.table rig.switch)
+        in
+        (* A prefix served by peers 0 and 2 creates a second group and
+           installs its rule. *)
+        announce rig 0 ["2.0.0.0/24"];
+        announce rig 2 ["2.0.0.0/24"];
+        Alcotest.(check int) "one more group"
+          (baseline_groups + 1)
+          (Supercharger.Backup_group.count groups);
+        Alcotest.(check int) "one more rule" (baseline_rules + 1)
+          (Openflow.Flow_table.size (Openflow.Switch.table rig.switch));
+        let churn_vnh =
+          match
+            List.filter
+              (fun (b : Supercharger.Backup_group.binding) ->
+                Supercharger.Backup_group.refs b = 0
+                || List.exists (Net.Ipv4.equal (ip "10.0.0.4")) b.next_hops)
+              (Supercharger.Backup_group.all groups)
+          with
+          | [b] -> b.vnh
+          | _ -> Alcotest.fail "expected exactly one (p0, p2) group"
+        in
+        (* Withdrawing peer 2's route leaves the prefix single-homed: the
+           group goes idle and, after the linger, is destroyed, its rule
+           uninstalled and its VNH/VMAC recycled. *)
+        Router.Peer.announce_to_all rig.peers.(2)
+          { Bgp.Message.withdrawn = [Net.Prefix.v "2.0.0.0/24"];
+            attrs = None; nlri = [] };
+        run_for rig 0.5;
+        Alcotest.(check int) "idle group still registered"
+          (baseline_groups + 1)
+          (Supercharger.Backup_group.count groups);
+        run_for rig 6.0 (* > the 5s group_linger *);
+        Alcotest.(check int) "group count back to baseline" baseline_groups
+          (Supercharger.Backup_group.count groups);
+        Alcotest.(check int) "rule count back to baseline" baseline_rules
+          (Openflow.Flow_table.size (Openflow.Switch.table rig.switch));
+        Alcotest.(check (option (float 1e-9))) "groups_live gauge agrees"
+          (Some (float_of_int baseline_groups))
+          (Obs.Metrics.find_gauge (Sim.Engine.metrics rig.engine)
+             "controller.groups_live");
+        (* Re-creating the same shape of group recycles the freed pair. *)
+        announce rig 0 ["3.0.0.0/24"];
+        announce rig 2 ["3.0.0.0/24"];
+        let recreated =
+          List.filter
+            (fun (b : Supercharger.Backup_group.binding) ->
+              List.exists (Net.Ipv4.equal (ip "10.0.0.4")) b.next_hops)
+            (Supercharger.Backup_group.all groups)
+        in
+        match recreated with
+        | [b] ->
+          Alcotest.(check string) "vnh recycled" (Net.Ipv4.to_string churn_vnh)
+            (Net.Ipv4.to_string b.vnh)
+        | _ -> Alcotest.fail "expected the (p0, p2) group to be recreated");
   ]
 
 let suite = [("supercharger.controller", controller_tests)]

@@ -4,6 +4,7 @@ let () =
   Alcotest.run "supercharged_router"
     (List.concat
        [
+         Test_obs.suite;
          Test_sim.suite;
          Test_net.suite;
          Test_bgp.suite;

@@ -263,6 +263,11 @@ let rng_tests =
         Alcotest.(check (array int)) "permutation" (Array.init 50 Fun.id) sorted);
   ]
 
+let contains_sub s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.equal (String.sub s i m) sub || go (i + 1)) in
+  go 0
+
 let trace_tests =
   [
     Alcotest.test_case "emission order and filtering" `Quick (fun () ->
@@ -284,6 +289,52 @@ let trace_tests =
         Sim.Trace.emit tr Sim.Time.zero ~category:"x" "m";
         Sim.Trace.clear tr;
         Alcotest.(check int) "cleared" 0 (Sim.Trace.length tr));
+    Alcotest.test_case "capacity_hint caps the ring, oldest entries drop" `Quick
+      (fun () ->
+        let tr = Sim.Trace.create ~capacity_hint:4 () in
+        for i = 0 to 9 do
+          Sim.Trace.emitf tr (Sim.Time.of_ms i) ~category:"x" "entry %d" i
+        done;
+        Alcotest.(check int) "retained" 4 (Sim.Trace.length tr);
+        Alcotest.(check int) "total emitted" 10 (Sim.Trace.total tr);
+        Alcotest.(check int) "dropped" 6 (Sim.Trace.dropped tr);
+        Alcotest.(check (option int)) "capacity" (Some 4) (Sim.Trace.capacity tr);
+        Alcotest.(check (list string)) "newest 4, insertion order"
+          ["entry 6"; "entry 7"; "entry 8"; "entry 9"]
+          (List.map (fun e -> e.Sim.Trace.message) (Sim.Trace.entries tr)));
+    Alcotest.test_case "unbounded trace keeps everything in order" `Quick (fun () ->
+        let tr = Sim.Trace.create () in
+        for i = 0 to 99 do
+          Sim.Trace.emitf tr (Sim.Time.of_ms i) ~category:"x" "e%d" i
+        done;
+        Alcotest.(check int) "all kept" 100 (Sim.Trace.length tr);
+        Alcotest.(check int) "no drops" 0 (Sim.Trace.dropped tr);
+        Alcotest.(check string) "first" "e0"
+          (List.hd (Sim.Trace.entries tr)).Sim.Trace.message);
+    Alcotest.test_case "structured events carry typed fields" `Quick (fun () ->
+        let tr = Sim.Trace.create () in
+        Sim.Trace.event tr Sim.Time.zero ~category:"bfd" "peer down"
+          [Obs.Field.string "peer" "10.0.0.2"; Obs.Field.int "detect_ms" 120];
+        let e = List.hd (Sim.Trace.entries tr) in
+        Alcotest.(check int) "two fields" 2 (List.length e.Sim.Trace.fields);
+        (match Obs.Field.find "detect_ms" e.Sim.Trace.fields with
+        | Some (Obs.Field.Int 120) -> ()
+        | _ -> Alcotest.fail "detect_ms field missing or wrong");
+        let rendered = Fmt.str "%a" Sim.Trace.pp_entry e in
+        Alcotest.(check bool) "fields rendered" true
+          (contains_sub rendered "peer=10.0.0.2"));
+    Alcotest.test_case "disabled emitf leaves str_formatter untouched" `Quick
+      (fun () ->
+        (* The old implementation routed the disabled branch through the
+           shared [Format.str_formatter], corrupting any string being
+           built there concurrently. *)
+        let tr = Sim.Trace.create () in
+        Sim.Trace.set_enabled tr false;
+        Format.fprintf Format.str_formatter "untouched-";
+        Sim.Trace.emitf tr Sim.Time.zero ~category:"x" "noise %d %s" 42 "z";
+        Format.fprintf Format.str_formatter "suffix";
+        Alcotest.(check string) "str_formatter intact" "untouched-suffix"
+          (Format.flush_str_formatter ()));
   ]
 
 let suite =

@@ -14,6 +14,9 @@ type binding = {
       (** ordered, length ≥ 2; head = primary *)
   vnh : Net.Ipv4.t;
   vmac : Net.Mac.t;
+  mutable refs : int;
+      (** prefixes currently announced with this group's VNH; maintained
+          via {!acquire}/{!release} *)
 }
 
 val pp_binding : Format.formatter -> binding -> unit
@@ -49,9 +52,39 @@ val with_member : t -> Net.Ipv4.t -> binding list
 (** Groups containing the peer anywhere in the tuple. *)
 
 val all : t -> binding list
+
 val count : t -> int
+(** Registered groups, including idle (refcount-zero) ones awaiting
+    {!destroy}. *)
+
+val acquire : t -> binding -> unit
+(** Takes a reference: a prefix is now announced with this group's
+    VNH. *)
+
+val release : t -> binding -> unit
+(** Drops a reference. At refcount zero the group becomes {e idle}: it
+    stays registered (its rule keeps forwarding in-flight traffic and
+    [find_or_create] can resurrect it) and the [on_idle] observer fires
+    so the owner can schedule {!destroy}.
+    @raise Invalid_argument on refcount underflow. *)
+
+val refs : binding -> int
+
+val live_count : t -> int
+(** Groups with refcount > 0. *)
+
+val destroy : t -> binding -> bool
+(** Unregisters an idle group and returns its (VNH, VMAC) pair to the
+    allocator for reuse. [false] (and no effect) when the group has been
+    re-acquired since going idle, or was already destroyed. The caller
+    is responsible for removing the group's switch rule. *)
 
 val on_create : t -> (binding -> unit) -> unit
+
+val on_idle : t -> (binding -> unit) -> unit
+(** Observer for groups reaching refcount zero; the controller uses it
+    to garbage-collect the group and its switch rule after a linger
+    period. *)
 
 val theoretical_max : n_peers:int -> group_size:int -> int
 (** Upper bound on the number of groups: ordered tuples of distinct

@@ -82,6 +82,9 @@ type result = {
           under [Fail_two]) *)
   flow_mods_at_failover : int;  (** rules rewritten by Listing 2 *)
   backup_groups : int;  (** groups allocated (supercharged mode) *)
+  updates_processed : int;
+      (** BGP updates run through the controllers' decision process
+          (0 in plain mode) *)
   fib_writes : int;  (** FIB entries applied over the whole run *)
   events : int;  (** simulation events processed *)
   probes : int;  (** measurement packets injected *)
@@ -91,6 +94,10 @@ type result = {
           replicas computed identical state (§3) *)
   trace_entries : Sim.Trace.entry list;
       (** the run's event trace; empty unless [params.trace] *)
+  metrics : Obs.Metrics.t;
+      (** the run's metrics registry (counters, gauges, histograms from
+          every instrumented component — switch, BFD, controller,
+          monitor) *)
 }
 
 val convergence_seconds : result -> float array

@@ -1,0 +1,26 @@
+(** Minimal JSON tree + printer.
+
+    Just enough to serialise bench results and metrics snapshots without
+    an external dependency. Output is deterministic: object members print
+    in the order given, floats use a round-trippable shortest form, and
+    non-finite floats become [null] (JSON has no representation for
+    them). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val pp : Format.formatter -> t -> unit
+(** Compact, valid JSON (no trailing commas, strings escaped per RFC
+    8259). *)
+
+val to_string : t -> string
+
+val to_file : string -> t -> unit
+(** Writes [pp] output plus a trailing newline. Truncates an existing
+    file. *)

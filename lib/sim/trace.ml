@@ -2,43 +2,49 @@ type entry = {
   time : Time.t;
   category : string;
   message : string;
+  fields : Obs.Field.t list;
 }
 
 type t = {
-  mutable events : entry list; (* reversed *)
-  mutable count : int;
+  ring : entry Obs.Ring.t;
   mutable on : bool;
 }
 
-let create ?capacity_hint:_ () = { events = []; count = 0; on = true }
+let create ?capacity_hint () =
+  { ring = Obs.Ring.create ?capacity:capacity_hint (); on = true }
 
 let enabled t = t.on
 let set_enabled t on = t.on <- on
 
-let emit t time ~category message =
-  if t.on then begin
-    t.events <- { time; category; message } :: t.events;
-    t.count <- t.count + 1
-  end
+let event t time ~category message fields =
+  if t.on then Obs.Ring.push t.ring { time; category; message; fields }
+
+let emit t time ~category message = event t time ~category message []
+
+(* A formatter that discards everything: the disabled branch must not
+   touch shared state (the old code leaked partial output into
+   [Format.str_formatter]), and [ikfprintf] still wants a formatter to
+   thread through. *)
+let null_formatter = Format.make_formatter (fun _ _ _ -> ()) (fun () -> ())
 
 let emitf t time ~category fmt =
   if t.on then
     Format.kasprintf (fun message -> emit t time ~category message) fmt
-  else Format.ikfprintf (fun _ -> ()) Format.str_formatter fmt
+  else Format.ikfprintf (fun _ -> ()) null_formatter fmt
 
-let entries t = List.rev t.events
+let entries t = Obs.Ring.to_list t.ring
 
 let find t ~category =
   List.filter (fun e -> String.equal e.category category) (entries t)
 
-let length t = t.count
-
-let clear t =
-  t.events <- [];
-  t.count <- 0
+let length t = Obs.Ring.length t.ring
+let total t = Obs.Ring.total t.ring
+let dropped t = Obs.Ring.dropped t.ring
+let capacity t = Obs.Ring.capacity t.ring
+let clear t = Obs.Ring.clear t.ring
 
 let pp_entry ppf e =
-  Fmt.pf ppf "[%a] %-10s %s" Time.pp e.time e.category e.message
+  Fmt.pf ppf "[%a] %-10s %s" Time.pp e.time e.category e.message;
+  if e.fields <> [] then Fmt.pf ppf " %a" Obs.Field.pp_list e.fields
 
-let pp ppf t =
-  List.iter (fun e -> Fmt.pf ppf "%a@." pp_entry e) (entries t)
+let pp ppf t = Obs.Ring.iter (fun e -> Fmt.pf ppf "%a@." pp_entry e) t.ring
