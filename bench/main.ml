@@ -64,7 +64,14 @@ let run_micro () =
   Fmt.pr "and the Listing 1 algorithm (wall-clock per update)...@.@.";
   let report = Experiments.Micro.run ~count () in
   Fmt.pr "%a@." Experiments.Micro.pp_report report;
-  record_json "micro" (Experiments.Micro.to_json report)
+  record_json "micro" (Experiments.Micro.to_json report);
+  section "RIB scaling - indexed peer-down vs full-table scan (1% peer)";
+  let sizes =
+    if quick then [10_000; 50_000] else Experiments.Rib_bench.default_sizes
+  in
+  let rows = Experiments.Rib_bench.run ~sizes () in
+  Experiments.Rib_bench.pp_rows Fmt.stdout rows;
+  record_json "rib" (Experiments.Rib_bench.to_json rows)
 
 (* ------------------------------------------------------------------ *)
 (* S2: number of backup-groups vs number of peers.                     *)
@@ -229,11 +236,12 @@ let ops_tests () =
                 ~as_path:[Bgp.Attributes.Seq [Bgp.Asn.of_int 65002]]
                 ~local_pref:lp ~next_hop:nh ()
             in
-            let change =
+            match
               Bgp.Rib.announce rib e.prefix
                 (Bgp.Route.make ~peer_id ~peer_router_id:nh attrs)
-            in
-            ignore (Supercharger.Algorithm.process_changes algo [change]))
+            with
+            | Some change -> ignore (Supercharger.Algorithm.process_changes algo [change])
+            | None -> ())
           [(0, nh2, 200); (1, nh3, 100)])
       entries;
     let flip = ref false in
@@ -247,11 +255,13 @@ let ops_tests () =
                ~as_path:[Bgp.Attributes.Seq [Bgp.Asn.of_int 65002]]
                ~local_pref:lp ~next_hop:nh2 ()
            in
-           let change =
+           match
              Bgp.Rib.announce rib target
                (Bgp.Route.make ~peer_id:0 ~peer_router_id:nh2 attrs)
-           in
-           ignore (Supercharger.Algorithm.process_changes algo [change])))
+           with
+           | Some change ->
+             ignore (Supercharger.Algorithm.process_changes algo [change])
+           | None -> ()))
   in
   let lpm_lookup =
     let table = Net.Lpm.create () in

@@ -33,11 +33,11 @@ let census ~n_peers ~n_prefixes ~group_size =
               ~local_pref:(100 + Sim.Rng.int rng 100)
               ~next_hop:(peer_ip peer_id) ()
           in
-          let change =
-            Bgp.Rib.announce rib e.prefix
-              (Bgp.Route.make ~peer_id ~peer_router_id:(peer_ip peer_id) attrs)
-          in
-          ignore (Supercharger.Algorithm.process_change algo change)
+          Option.iter
+            (fun change ->
+              ignore (Supercharger.Algorithm.process_change algo change))
+            (Bgp.Rib.announce rib e.prefix
+               (Bgp.Route.make ~peer_id ~peer_router_id:(peer_ip peer_id) attrs))
         end
       done)
     entries;

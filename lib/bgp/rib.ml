@@ -5,11 +5,17 @@ module Table = Hashtbl.Make (struct
   let hash = Net.Prefix.hash
 end)
 
+module Peer_table = Hashtbl.Make (Int)
+
 type t = {
   table : Route.t list Table.t; (* ranked, best first *)
+  by_peer : unit Table.t Peer_table.t;
+      (* peer_id -> set of prefixes the peer currently has a candidate
+         for. Maintained incrementally so a session loss touches only
+         the peer's own prefixes, never the whole table. *)
 }
 
-let create () = { table = Table.create 4096 }
+let create () = { table = Table.create 4096; by_peer = Peer_table.create 16 }
 
 type change = {
   prefix : Net.Prefix.t;
@@ -23,11 +29,64 @@ let ordered t prefix =
 let best t prefix =
   match ordered t prefix with [] -> None | r :: _ -> Some r
 
+(* --- per-peer prefix index -------------------------------------------- *)
+
+let index_add t ~peer_id prefix =
+  let set =
+    match Peer_table.find_opt t.by_peer peer_id with
+    | Some set -> set
+    | None ->
+      let set = Table.create 64 in
+      Peer_table.replace t.by_peer peer_id set;
+      set
+  in
+  Table.replace set prefix ()
+
+let index_remove t ~peer_id prefix =
+  match Peer_table.find_opt t.by_peer peer_id with
+  | None -> ()
+  | Some set ->
+    Table.remove set prefix;
+    if Table.length set = 0 then Peer_table.remove t.by_peer peer_id
+
+let peer_prefix_count t ~peer_id =
+  match Peer_table.find_opt t.by_peer peer_id with
+  | Some set -> Table.length set
+  | None -> 0
+
+let peer_prefixes t ~peer_id =
+  match Peer_table.find_opt t.by_peer peer_id with
+  | None -> []
+  | Some set -> Table.fold (fun prefix () acc -> prefix :: acc) set []
+
+(* --- candidate list maintenance --------------------------------------- *)
+
 let rec insert_sorted route = function
   | [] -> [route]
   | r :: rest as l ->
     if Decision.compare route r <= 0 then route :: l
     else r :: insert_sorted route rest
+
+let rec drop_peer ~peer_id = function
+  | [] -> []
+  | (r : Route.t) :: rest ->
+    if r.peer_id = peer_id then rest else r :: drop_peer ~peer_id rest
+
+exception Unchanged
+
+(* One walk replacing the old List.filter + insert_sorted pair: drop the
+   peer's previous candidate and splice the new route in at its rank.
+   Raises [Unchanged] (before allocating any of the result) when the
+   peer re-announces a route identical to its stored one. *)
+let rec splice (route : Route.t) = function
+  | [] -> [route]
+  | (r : Route.t) :: rest as l ->
+    if r.peer_id = route.peer_id then
+      if Route.equal r route then raise_notrace Unchanged
+      else insert_sorted route rest
+    else if Decision.compare route r <= 0 then
+      route :: drop_peer ~peer_id:route.peer_id l
+    else r :: splice route rest
 
 let store t prefix routes =
   if routes = [] then Table.remove t.table prefix
@@ -35,29 +94,28 @@ let store t prefix routes =
 
 let announce t prefix (route : Route.t) =
   let before = ordered t prefix in
-  let without = List.filter (fun (r : Route.t) -> r.peer_id <> route.peer_id) before in
-  let after = insert_sorted route without in
-  store t prefix after;
-  { prefix; before; after }
+  match splice route before with
+  | after ->
+    store t prefix after;
+    index_add t ~peer_id:route.peer_id prefix;
+    Some { prefix; before; after }
+  | exception Unchanged -> None
 
 let withdraw t prefix ~peer_id =
   let before = ordered t prefix in
   if List.exists (fun (r : Route.t) -> r.peer_id = peer_id) before then begin
-    let after = List.filter (fun (r : Route.t) -> r.peer_id <> peer_id) before in
+    let after = drop_peer ~peer_id before in
     store t prefix after;
+    index_remove t ~peer_id prefix;
     Some { prefix; before; after }
   end
   else None
 
 let withdraw_peer t ~peer_id =
-  let affected =
-    Table.fold
-      (fun prefix routes acc ->
-        if List.exists (fun (r : Route.t) -> r.peer_id = peer_id) routes then
-          prefix :: acc
-        else acc)
-      t.table []
-  in
+  (* The index names exactly the affected prefixes, so a peer holding k
+     routes costs O(k log k) (the sort makes the change order
+     deterministic) no matter how large the table is. *)
+  let affected = List.sort Net.Prefix.compare (peer_prefixes t ~peer_id) in
   List.filter_map (fun prefix -> withdraw t prefix ~peer_id) affected
 
 let apply_update t ~peer_id ~peer_router_id ?(ebgp = true) ?(igp_cost = 0)
@@ -70,7 +128,7 @@ let apply_update t ~peer_id ~peer_router_id ?(ebgp = true) ?(igp_cost = 0)
     | None -> []
     | Some attrs ->
       let route = Route.make ~ebgp ~igp_cost ~peer_id ~peer_router_id attrs in
-      List.map (fun prefix -> announce t prefix route) u.nlri
+      List.filter_map (fun prefix -> announce t prefix route) u.nlri
   in
   withdrawals @ announcements
 

@@ -5,7 +5,12 @@
     "routing_table" of the paper's Listing 1: the first two elements of
     the ranked list form the prefix's backup-group. Each peer contributes
     at most one route per prefix; a re-announcement implicitly replaces
-    the previous one. *)
+    the previous one.
+
+    A per-peer prefix index is maintained incrementally on every
+    announce/withdraw, so a whole-session loss ({!withdraw_peer}) costs
+    work proportional to the number of prefixes the peer actually
+    routed — never a scan of the full table. *)
 
 type t
 
@@ -17,15 +22,26 @@ type change = {
   after : Route.t list;  (** ranked candidates after the event *)
 }
 
-val announce : t -> Net.Prefix.t -> Route.t -> change
-(** Inserts/replaces the route from [route.peer_id] for the prefix. *)
+val announce : t -> Net.Prefix.t -> Route.t -> change option
+(** Inserts/replaces the route from [route.peer_id] for the prefix.
+    [None] when the peer re-announces a route identical to its stored
+    one: the table is untouched and no change record is allocated, so
+    phantom churn never reaches Listing 1 or the trace/metrics layer. *)
 
 val withdraw : t -> Net.Prefix.t -> peer_id:int -> change option
 (** Removes the peer's route; [None] if it held none. *)
 
 val withdraw_peer : t -> peer_id:int -> change list
 (** Removes every route of a peer (session loss). Only prefixes whose
-    candidate list actually changed are reported. *)
+    candidate list actually changed are reported, in ascending prefix
+    order. Cost is proportional to the peer's own prefix count, not to
+    the table size. *)
+
+val peer_prefix_count : t -> peer_id:int -> int
+(** Number of prefixes the peer currently has a candidate for. *)
+
+val peer_prefixes : t -> peer_id:int -> Net.Prefix.t list
+(** The indexed prefix set of a peer (unspecified order). *)
 
 val apply_update : t -> peer_id:int -> peer_router_id:Net.Ipv4.t ->
   ?ebgp:bool -> ?igp_cost:int -> Message.update -> change list

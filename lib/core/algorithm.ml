@@ -98,6 +98,12 @@ let process_change t (change : Bgp.Rib.change) =
 
 let process_changes t changes = List.filter_map (process_change t) changes
 
+let process_peer_down t rib ~peer_id =
+  (* Listing 1's batch over a session loss: [withdraw_peer] walks the
+     RIB's per-peer index, so the whole pass costs O(#prefixes routed
+     via the peer), not O(table). *)
+  process_changes t (Bgp.Rib.withdraw_peer rib ~peer_id)
+
 let last_announced t prefix = Prefix_table.find_opt t.last_sent prefix
 
 let announced_count t = Prefix_table.length t.last_sent

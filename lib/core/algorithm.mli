@@ -34,6 +34,11 @@ val process_change : t -> Bgp.Rib.change -> emission option
 
 val process_changes : t -> Bgp.Rib.change list -> emission list
 
+val process_peer_down : t -> Bgp.Rib.t -> peer_id:int -> emission list
+(** Withdraws every route of the peer from [rib] (via the RIB's
+    per-peer index, so the cost is bounded by the peer's own prefix
+    count) and runs each resulting change through {!process_change}. *)
+
 val last_announced : t -> Net.Prefix.t -> Bgp.Attributes.t option
 (** What the router currently believes about a prefix (for tests and
     invariant checks). *)

@@ -233,8 +233,9 @@ let handle_peer_failure t failed_ip =
              List.find_opt (fun up -> Net.Ipv4.equal up.up_ip failed_ip) t.upstreams
            with
            | Some up ->
-             let changes = Bgp.Rib.withdraw_peer t.rib ~peer_id:up.up_peer.id in
-             relay_emissions t (Algorithm.process_changes t.algorithm changes)
+             relay_emissions t
+               (Algorithm.process_peer_down t.algorithm t.rib
+                  ~peer_id:up.up_peer.id)
            | None -> ()))
   end
 

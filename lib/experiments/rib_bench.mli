@@ -1,0 +1,29 @@
+(** RIB scaling benchmark: the [bench -- micro] "rib" section.
+
+    Builds full-feed tables (10 k – 512 k prefixes) with a majority
+    peer plus a minority peer holding a [1/share] slice, then measures
+    announce/withdraw throughput and the peer-down path. The indexed
+    {!Bgp.Rib.withdraw_peer} is timed against a reference full-table
+    discovery fold — the O(table) cost the pre-index implementation
+    paid on every session loss — to demonstrate that failover work is
+    proportional to the failed peer's own routes. *)
+
+type row = {
+  prefixes : int;
+  peer_routes : int;  (** routes held by the failing minority peer *)
+  announce_per_sec : float;
+  withdraw_per_sec : float;
+  peer_down_us : float;  (** indexed [withdraw_peer], whole batch *)
+  full_scan_us : float;  (** reference O(table) discovery fold *)
+  speedup : float;  (** [full_scan_us /. peer_down_us] *)
+  changes : int;  (** change records produced by the peer-down *)
+}
+
+val default_sizes : int list
+
+val run : ?sizes:int list -> ?seed:int64 -> ?share:int -> unit -> row list
+(** [share] is the minority peer's stride: it announces every
+    [share]-th prefix (default 100, i.e. a 1 % share). *)
+
+val pp_rows : Format.formatter -> row list -> unit
+val to_json : row list -> Obs.Json.t

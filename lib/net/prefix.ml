@@ -55,6 +55,12 @@ let compare a b =
 
 let equal a b = compare a b = 0
 
-let hash t = (Ipv4.hash t.network * 33) + t.length
+(* Mix the address bits down into the low bits: Hashtbl masks the hash
+   with (bucket count - 1), and real routing tables are /24-heavy, so a
+   plain [addr * 33 + len] leaves the masked bits nearly constant and
+   degenerates the table into a handful of very long chains. *)
+let hash t =
+  let h = (Ipv4.hash t.network * 0x9E3779B1) lxor (t.length * 0x85EBCA6B) in
+  (h lxor (h lsr 16)) land max_int
 
 let pp ppf t = Format.pp_print_string ppf (to_string t)

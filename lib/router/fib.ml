@@ -50,14 +50,27 @@ let rec process_next t =
            apply t op;
            process_next t))
 
-let enqueue t op =
-  Queue.add op t.queue;
+let kick t =
   if not t.busy then begin
     t.busy <- true;
     ignore
       (Sim.Engine.schedule_after t.engine t.batch_start_latency (fun () ->
            process_next t))
   end
+
+let enqueue t op =
+  Queue.add op t.queue;
+  kick t
+
+let enqueue_batch t ops =
+  (* One download batch: all ops share a single batch-start latency, as
+     a real FIB writer coalesces a burst (e.g. a peer-down's change set)
+     instead of paying the start cost per entry. *)
+  match ops with
+  | [] -> ()
+  | ops ->
+    List.iter (fun op -> Queue.add op t.queue) ops;
+    kick t
 
 let lookup t addr =
   match Net.Lpm.lookup t.table addr with

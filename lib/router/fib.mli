@@ -29,6 +29,11 @@ val enqueue : t -> op -> unit
     begins: the first entry is applied [batch_start + per_entry] from
     now, subsequent queued entries every [per_entry]. *)
 
+val enqueue_batch : t -> op list -> unit
+(** Appends a burst (e.g. a peer-down's whole change set) as one
+    download batch: a single batch-start latency covers all entries.
+    [enqueue_batch t []] is a no-op. *)
+
 val lookup : t -> Net.Ipv4.t -> Adjacency.t option
 (** Longest-prefix match against the {e applied} table — pending queued
     updates are invisible to the data plane, which is exactly the

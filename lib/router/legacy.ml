@@ -97,8 +97,18 @@ let create engine ~name ~asn ~router_id ~interfaces ?fib_batch_start_latency
     }
   in
   tx_holder := (fun ~interface frame -> transmit t interface frame);
-  (* RIB -> FIB plumbing. *)
+  (* RIB -> FIB plumbing. Removals need no ARP resolution, so a change
+     set's removals (the entirety of a peer-down batch) download as one
+     FIB batch under a single batch-start latency; Set ops still go
+     through asynchronous next-hop resolution one by one. *)
   let handle_changes changes =
+    Fib.enqueue_batch t.fib
+      (List.filter_map
+         (fun (change : Bgp.Rib.change) ->
+           match change.before, change.after with
+           | _ :: _, [] -> Some (Fib.Remove change.prefix)
+           | _ -> None)
+         changes);
     List.iter
       (fun (change : Bgp.Rib.change) ->
         let old_nh =
@@ -108,8 +118,7 @@ let create engine ~name ~asn ~router_id ~interfaces ?fib_batch_start_latency
           match change.after with r :: _ -> Some (Bgp.Route.next_hop r) | [] -> None
         in
         match new_nh with
-        | None ->
-          if old_nh <> None then Fib.enqueue t.fib (Fib.Remove change.prefix)
+        | None -> ()
         | Some nh ->
           let changed =
             match old_nh with Some o -> not (Net.Ipv4.equal o nh) | None -> true

@@ -1,28 +1,48 @@
 (* Array-backed binary min-heap. Each element carries the sequence number
-   of its push so that equal-priority elements pop in FIFO order. *)
+   of its push so that equal-priority elements pop in FIFO order.
 
-type 'a cell = { value : 'a; seq : int }
+   Slots beyond [size] are reset to [Empty] as elements leave: a popped
+   cell must not linger in the vacated slot, or the heap would pin the
+   event (and everything its closure captures) until the slot happens to
+   be overwritten. The array also shrinks once occupancy drops below a
+   quarter, so a burst of events does not hold peak capacity forever. *)
+
+type 'a slot = Empty | Cell of { value : 'a; seq : int }
 
 type 'a t = {
   cmp : 'a -> 'a -> int;
-  mutable cells : 'a cell array;
+  mutable cells : 'a slot array;
   mutable size : int;
   mutable next_seq : int;
 }
 
+let min_capacity = 16
+
 let create ~cmp () = { cmp; cells = [||]; size = 0; next_seq = 0 }
 
-let cell_lt h a b =
-  let c = h.cmp a.value b.value in
-  if c <> 0 then c < 0 else a.seq < b.seq
+let slot_lt h a b =
+  match a, b with
+  | Cell a, Cell b ->
+    let c = h.cmp a.value b.value in
+    if c <> 0 then c < 0 else a.seq < b.seq
+  | Empty, _ | _, Empty -> assert false (* slots below [size] are never Empty *)
 
-(* [fill] seeds fresh slots so no dummy value is ever fabricated; slots
-   beyond [size] are never read. *)
-let grow h fill =
+let grow h =
   let cap = Array.length h.cells in
   if h.size >= cap then begin
-    let new_cap = if cap = 0 then 16 else cap * 2 in
-    let fresh = Array.make new_cap fill in
+    let new_cap = if cap = 0 then min_capacity else cap * 2 in
+    let fresh = Array.make new_cap Empty in
+    Array.blit h.cells 0 fresh 0 h.size;
+    h.cells <- fresh
+  end
+
+(* Halve the array when it is less than a quarter full, keeping the live
+   prefix. Never drops below [min_capacity] to avoid thrash. *)
+let maybe_shrink h =
+  let cap = Array.length h.cells in
+  if cap > min_capacity && h.size < cap / 4 then begin
+    let new_cap = max min_capacity (cap / 2) in
+    let fresh = Array.make new_cap Empty in
     Array.blit h.cells 0 fresh 0 h.size;
     h.cells <- fresh
   end
@@ -30,7 +50,7 @@ let grow h fill =
 let rec sift_up h i =
   if i > 0 then begin
     let parent = (i - 1) / 2 in
-    if cell_lt h h.cells.(i) h.cells.(parent) then begin
+    if slot_lt h h.cells.(i) h.cells.(parent) then begin
       let tmp = h.cells.(i) in
       h.cells.(i) <- h.cells.(parent);
       h.cells.(parent) <- tmp;
@@ -41,9 +61,9 @@ let rec sift_up h i =
 let rec sift_down h i =
   let left = (2 * i) + 1 and right = (2 * i) + 2 in
   let smallest = ref i in
-  if left < h.size && cell_lt h h.cells.(left) h.cells.(!smallest) then
+  if left < h.size && slot_lt h h.cells.(left) h.cells.(!smallest) then
     smallest := left;
-  if right < h.size && cell_lt h h.cells.(right) h.cells.(!smallest) then
+  if right < h.size && slot_lt h h.cells.(right) h.cells.(!smallest) then
     smallest := right;
   if !smallest <> i then begin
     let tmp = h.cells.(i) in
@@ -53,9 +73,8 @@ let rec sift_down h i =
   end
 
 let push h value =
-  let cell = { value; seq = h.next_seq } in
-  grow h cell;
-  h.cells.(h.size) <- cell;
+  grow h;
+  h.cells.(h.size) <- Cell { value; seq = h.next_seq };
   h.next_seq <- h.next_seq + 1;
   h.size <- h.size + 1;
   sift_up h (h.size - 1)
@@ -63,19 +82,27 @@ let push h value =
 let pop h =
   if h.size = 0 then None
   else begin
-    let top = h.cells.(0) in
-    h.size <- h.size - 1;
-    if h.size > 0 then begin
-      h.cells.(0) <- h.cells.(h.size);
-      sift_down h 0
-    end;
-    Some top.value
+    match h.cells.(0) with
+    | Empty -> assert false
+    | Cell top ->
+      h.size <- h.size - 1;
+      if h.size > 0 then begin
+        h.cells.(0) <- h.cells.(h.size);
+        h.cells.(h.size) <- Empty;
+        sift_down h 0
+      end
+      else h.cells.(0) <- Empty;
+      maybe_shrink h;
+      Some top.value
   end
 
-let peek h = if h.size = 0 then None else Some h.cells.(0).value
+let peek h =
+  if h.size = 0 then None
+  else match h.cells.(0) with Cell c -> Some c.value | Empty -> assert false
 
 let size h = h.size
 let is_empty h = h.size = 0
+let capacity h = Array.length h.cells
 
 let clear h =
   h.size <- 0;
@@ -83,6 +110,10 @@ let clear h =
 
 let to_list h =
   let rec collect i acc =
-    if i < 0 then acc else collect (i - 1) (h.cells.(i).value :: acc)
+    if i < 0 then acc
+    else
+      match h.cells.(i) with
+      | Cell c -> collect (i - 1) (c.value :: acc)
+      | Empty -> assert false
   in
   collect (h.size - 1) []

@@ -21,6 +21,10 @@ val peek : 'a t -> 'a option
 val size : 'a t -> int
 val is_empty : 'a t -> bool
 
+val capacity : 'a t -> int
+(** Current backing-array length. Popping below a quarter of capacity
+    shrinks the array; vacated slots never retain popped elements. *)
+
 val clear : 'a t -> unit
 
 val to_list : 'a t -> 'a list

@@ -304,7 +304,11 @@ let rib_tests =
     Alcotest.test_case "announce then best" `Quick (fun () ->
         let rib = Rib.create () in
         let r = route ~peer_id:0 (attrs "10.0.0.2") in
-        let change = Rib.announce rib (pfx "1.0.0.0/24") r in
+        let change =
+          match Rib.announce rib (pfx "1.0.0.0/24") r with
+          | Some c -> c
+          | None -> Alcotest.fail "expected a change"
+        in
         Alcotest.(check int) "before empty" 0 (List.length change.Rib.before);
         Alcotest.(check int) "after one" 1 (List.length change.Rib.after);
         match Rib.best rib (pfx "1.0.0.0/24") with
@@ -357,6 +361,40 @@ let rib_tests =
         Alcotest.(check int) "two changes" 2 (List.length changes);
         Alcotest.(check bool) "1/24 gone" true (Rib.best rib (pfx "1.0.0.0/24") = None);
         Alcotest.(check bool) "2/24 there" true (Rib.best rib (pfx "2.0.0.0/24") <> None));
+    Alcotest.test_case "identical re-announcement is suppressed as a no-op" `Quick
+      (fun () ->
+        let rib = Rib.create () in
+        let r = route ~peer_id:0 (attrs ~med:7 "10.0.0.2") in
+        Alcotest.(check bool) "first announce is a change" true
+          (Rib.announce rib (pfx "1.0.0.0/24") r <> None);
+        Alcotest.(check bool) "identical re-announce is None" true
+          (Rib.announce rib (pfx "1.0.0.0/24") r = None);
+        Alcotest.(check int) "still one candidate" 1
+          (List.length (Rib.ordered rib (pfx "1.0.0.0/24")));
+        (* A changed attribute is a real change again. *)
+        Alcotest.(check bool) "different med is a change" true
+          (Rib.announce rib (pfx "1.0.0.0/24") (route ~peer_id:0 (attrs ~med:8 "10.0.0.2"))
+          <> None);
+        (* The same suppression through apply_update: a repeat of the
+           identical UPDATE yields an empty change list. *)
+        let u =
+          { Message.withdrawn = []; attrs = Some (attrs ~med:8 "10.0.0.2");
+            nlri = [pfx "1.0.0.0/24"] }
+        in
+        Alcotest.(check int) "repeated identical update: no changes" 0
+          (List.length (Rib.apply_update rib ~peer_id:0 ~peer_router_id:(ip "10.0.0.2") u)));
+    Alcotest.test_case "per-peer index tracks announce/withdraw" `Quick (fun () ->
+        let rib = Rib.create () in
+        List.iter
+          (fun s -> ignore (Rib.announce rib (pfx s) (route ~peer_id:3 (attrs "10.0.0.2"))))
+          ["1.0.0.0/24"; "2.0.0.0/24"; "3.0.0.0/24"];
+        Alcotest.(check int) "three indexed" 3 (Rib.peer_prefix_count rib ~peer_id:3);
+        Alcotest.(check int) "other peer empty" 0 (Rib.peer_prefix_count rib ~peer_id:0);
+        ignore (Rib.withdraw rib (pfx "2.0.0.0/24") ~peer_id:3);
+        Alcotest.(check int) "two after withdraw" 2 (Rib.peer_prefix_count rib ~peer_id:3);
+        ignore (Rib.withdraw_peer rib ~peer_id:3);
+        Alcotest.(check int) "empty after peer-down" 0 (Rib.peer_prefix_count rib ~peer_id:3);
+        Alcotest.(check int) "table empty too" 0 (Rib.cardinal rib));
     QCheck_alcotest.to_alcotest
       (QCheck.Test.make ~name:"rib stays ranked under random ops" ~count:200
          QCheck.(small_list (pair (0 -- 4) (option (100 -- 300))))
@@ -377,6 +415,128 @@ let rib_tests =
            let ranked = Rib.ordered rib p in
            (* The stored list must equal a fresh sort of itself. *)
            List.equal Route.equal ranked (Decision.rank ranked)));
+  ]
+
+(* --- indexed RIB vs naive full-table reference ------------------------ *)
+
+(* The reference model: ranked lists in a plain hashtable, with
+   [withdraw_peer] implemented as the pre-index full-table fold. The
+   property below drives both implementations through random
+   interleavings of announce / withdraw / peer-down and demands
+   identical change sets (same prefixes, same before/after ordering)
+   at every step. *)
+module Naive = struct
+  type t = (Net.Prefix.t, Route.t list) Hashtbl.t
+
+  let create () : t = Hashtbl.create 64
+  let ordered t p = Option.value ~default:[] (Hashtbl.find_opt t p)
+
+  let store t p = function
+    | [] -> Hashtbl.remove t p
+    | routes -> Hashtbl.replace t p routes
+
+  let announce t p (route : Route.t) =
+    let before = ordered t p in
+    let without = List.filter (fun (r : Route.t) -> r.peer_id <> route.peer_id) before in
+    let after = Decision.rank (route :: without) in
+    if List.equal Route.equal before after then None
+    else begin
+      store t p after;
+      Some (p, before, after)
+    end
+
+  let withdraw t p ~peer_id =
+    let before = ordered t p in
+    if List.exists (fun (r : Route.t) -> r.peer_id = peer_id) before then begin
+      let after = List.filter (fun (r : Route.t) -> r.peer_id <> peer_id) before in
+      store t p after;
+      Some (p, before, after)
+    end
+    else None
+
+  let withdraw_peer t ~peer_id =
+    let affected =
+      Hashtbl.fold
+        (fun p routes acc ->
+          if List.exists (fun (r : Route.t) -> r.peer_id = peer_id) routes then p :: acc
+          else acc)
+        t []
+    in
+    List.filter_map
+      (fun p -> withdraw t p ~peer_id)
+      (List.sort Net.Prefix.compare affected)
+
+  let dump t =
+    List.sort
+      (fun (p, _) (q, _) -> Net.Prefix.compare p q)
+      (Hashtbl.fold (fun p routes acc -> (p, routes) :: acc) t [])
+end
+
+type rib_op =
+  | Op_announce of int * int * int (* peer, prefix index, local pref *)
+  | Op_withdraw of int * int
+  | Op_peer_down of int
+
+let equiv_prefixes = [|"1.0.0.0/24"; "2.0.0.0/24"; "3.0.0.0/16"; "4.4.0.0/20"|]
+
+let gen_rib_op =
+  QCheck.map
+    (fun (kind, peer, prefix, lp) ->
+      if kind < 6 then Op_announce (peer, prefix, 100 + (10 * lp))
+      else if kind < 9 then Op_withdraw (peer, prefix)
+      else Op_peer_down peer)
+    QCheck.(quad (0 -- 9) (0 -- 2) (0 -- 3) (0 -- 3))
+
+let change_matches (c : Rib.change) (p, before, after) =
+  Net.Prefix.equal c.Rib.prefix p
+  && List.equal Route.equal c.Rib.before before
+  && List.equal Route.equal c.Rib.after after
+
+let indexed_equivalence_tests =
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"indexed rib == naive reference on random interleavings"
+         ~count:300
+         QCheck.(small_list gen_rib_op)
+         (fun ops ->
+           let rib = Rib.create () in
+           let naive = Naive.create () in
+           let route_for peer lp =
+             route ~peer_id:peer
+               ~router_id:(Fmt.str "10.0.0.%d" (peer + 2))
+               (attrs ~local_pref:lp (Fmt.str "10.0.0.%d" (peer + 2)))
+           in
+           let step_ok = function
+             | Op_announce (peer, prefix_idx, lp) ->
+               let p = pfx equiv_prefixes.(prefix_idx) in
+               let r = route_for peer lp in
+               (match Rib.announce rib p r, Naive.announce naive p r with
+               | None, None -> true
+               | Some c, Some reference -> change_matches c reference
+               | Some _, None | None, Some _ -> false)
+             | Op_withdraw (peer, prefix_idx) ->
+               let p = pfx equiv_prefixes.(prefix_idx) in
+               (match Rib.withdraw rib p ~peer_id:peer, Naive.withdraw naive p ~peer_id:peer with
+               | None, None -> true
+               | Some c, Some reference -> change_matches c reference
+               | Some _, None | None, Some _ -> false)
+             | Op_peer_down peer ->
+               let changes = Rib.withdraw_peer rib ~peer_id:peer in
+               let reference = Naive.withdraw_peer naive ~peer_id:peer in
+               List.length changes = List.length reference
+               && List.for_all2 change_matches changes reference
+               && Rib.peer_prefix_count rib ~peer_id:peer = 0
+           in
+           List.for_all step_ok ops
+           &&
+           (* Final tables agree entry for entry. *)
+           let dump =
+             List.sort (fun (p, _) (q, _) -> Net.Prefix.compare p q)
+               (Rib.fold rib ~init:[] ~f:(fun acc p routes -> (p, routes) :: acc))
+           in
+           List.equal
+             (fun (p, rs) (q, qs) -> Net.Prefix.equal p q && List.equal Route.equal rs qs)
+             dump (Naive.dump naive)));
   ]
 
 let channel_tests =
@@ -620,6 +780,7 @@ let suite =
     ("bgp.codec", codec_tests);
     ("bgp.stream", stream_tests);
     ("bgp.rib", rib_tests);
+    ("bgp.rib_indexed", indexed_equivalence_tests);
     ("bgp.channel", channel_tests);
     ("bgp.session", session_tests);
     ("bgp.session_over_bytes", fragmented_session_tests);

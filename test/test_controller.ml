@@ -372,16 +372,43 @@ let controller_tests =
                ~as_path:[Bgp.Attributes.Seq [Bgp.Asn.of_int 65002]]
                ~next_hop:(ip nh) ())
         in
-        ignore (Supercharger.Algorithm.process_change algo
-            (Bgp.Rib.announce rib (Net.Prefix.v "6.0.0.0/24") (route 0 "10.0.0.2" 10)));
-        ignore (Supercharger.Algorithm.process_change algo
-            (Bgp.Rib.announce rib (Net.Prefix.v "6.0.0.0/24") (route 1 "10.0.0.3" 1)));
+        let feed change =
+          Option.iter
+            (fun c -> ignore (Supercharger.Algorithm.process_change algo c))
+            change
+        in
+        feed (Bgp.Rib.announce rib (Net.Prefix.v "6.0.0.0/24") (route 0 "10.0.0.2" 10));
+        feed (Bgp.Rib.announce rib (Net.Prefix.v "6.0.0.0/24") (route 1 "10.0.0.3" 1));
         match Supercharger.Backup_group.all groups with
         | [b] ->
           Alcotest.(check (list string)) "igp-near peer is primary"
             ["10.0.0.3"; "10.0.0.2"]
             (List.map Net.Ipv4.to_string b.next_hops)
         | _ -> Alcotest.fail "expected one group");
+    Alcotest.test_case "repeated identical announce drives no phantom churn" `Quick
+      (fun () ->
+        (* The no-op suppression in Bgp.Rib.announce: a peer re-sending
+           the exact same route must not produce change records, so
+           neither Listing 1 nor the metrics layer sees any churn. *)
+        let rig = make_rig () in
+        let emissions () =
+          Option.value ~default:0
+            (Obs.Metrics.find_counter
+               (Sim.Engine.metrics rig.engine) "controller.emissions")
+        in
+        announce rig 0 ["7.7.0.0/24"];
+        let after_first = emissions () in
+        Alcotest.(check bool) "first announce emitted" true (after_first >= 1);
+        let updates_before =
+          Supercharger.Controller.updates_processed rig.controller
+        in
+        announce rig 0 ["7.7.0.0/24"];
+        Alcotest.(check bool) "update was processed" true
+          (Supercharger.Controller.updates_processed rig.controller > updates_before);
+        Alcotest.(check int) "emissions unchanged" after_first (emissions ());
+        Alcotest.(check int) "algorithm saw no churn" after_first
+          (Supercharger.Algorithm.emissions_total
+             (Supercharger.Controller.algorithm rig.controller)));
     Alcotest.test_case "updates processed counter advances" `Quick (fun () ->
         let rig = make_rig () in
         announce rig 0 ["1.0.0.0/24"; "2.0.0.0/24"];

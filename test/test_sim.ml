@@ -80,6 +80,43 @@ let heap_tests =
              match Sim.Heap.pop h with None -> List.rev acc | Some x -> drain (x :: acc)
            in
            drain [] = List.sort Int.compare xs));
+    Alcotest.test_case "pop does not retain the popped element" `Quick (fun () ->
+        (* Regression: pop used to leave the vacated cell at
+           cells.(size) holding the element (and everything its closure
+           captured) until some later push overwrote the slot. *)
+        let h = Sim.Heap.create ~cmp:(fun (a, _) (b, _) -> Int.compare a b) () in
+        let weak = Weak.create 2 in
+        let populate =
+          Sys.opaque_identity (fun () ->
+              let first = Bytes.make 64 'x' and second = Bytes.make 64 'y' in
+              Weak.set weak 0 (Some first);
+              Weak.set weak 1 (Some second);
+              Sim.Heap.push h (1, first);
+              Sim.Heap.push h (2, second))
+        in
+        populate ();
+        ignore (Sim.Heap.pop h);
+        Gc.full_major ();
+        Alcotest.(check bool) "popped value collected" false (Weak.check weak 0);
+        Alcotest.(check bool) "remaining value alive" true (Weak.check weak 1);
+        ignore (Sim.Heap.pop h);
+        Gc.full_major ();
+        Alcotest.(check bool) "drained heap pins nothing" false (Weak.check weak 1));
+    Alcotest.test_case "array shrinks once occupancy drops below a quarter" `Quick
+      (fun () ->
+        let h = Sim.Heap.create ~cmp:Int.compare () in
+        for i = 0 to 4095 do
+          Sim.Heap.push h i
+        done;
+        let peak = Sim.Heap.capacity h in
+        Alcotest.(check bool) "grew to hold the burst" true (peak >= 4096);
+        for _ = 1 to 4090 do
+          ignore (Sim.Heap.pop h)
+        done;
+        Alcotest.(check bool) "capacity released" true (Sim.Heap.capacity h < peak / 4);
+        Alcotest.(check (option int)) "order survives shrinking" (Some 4090)
+          (Sim.Heap.peek h);
+        Alcotest.(check int) "six left" 6 (Sim.Heap.size h));
   ]
 
 let engine_tests =

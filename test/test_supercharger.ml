@@ -128,8 +128,11 @@ let make_algo () =
   let rib = Bgp.Rib.create () in
   let algo = Supercharger.Algorithm.create groups in
   let feed ?(peer_id = 0) ?(router_id = "10.0.0.2") ?local_pref prefix nh =
-    let change = Bgp.Rib.announce rib (pfx prefix) (route ~peer_id ~router_id (attrs ?local_pref nh)) in
-    Supercharger.Algorithm.process_change algo change
+    match
+      Bgp.Rib.announce rib (pfx prefix) (route ~peer_id ~router_id (attrs ?local_pref nh))
+    with
+    | Some change -> Supercharger.Algorithm.process_change algo change
+    | None -> None
   in
   let withdraw ~peer_id prefix =
     match Bgp.Rib.withdraw rib (pfx prefix) ~peer_id with
@@ -244,12 +247,11 @@ let algorithm_tests =
                let change =
                  match action with
                  | Some lp_idx ->
-                   Some
-                     (Bgp.Rib.announce rib prefix
-                        (route ~peer_id
-                           ~router_id:(Fmt.str "10.0.0.%d" (peer_id + 2))
-                           (attrs ~local_pref:((lp_idx * 50) + 100)
-                              (Fmt.str "10.0.0.%d" (peer_id + 2)))))
+                   Bgp.Rib.announce rib prefix
+                     (route ~peer_id
+                        ~router_id:(Fmt.str "10.0.0.%d" (peer_id + 2))
+                        (attrs ~local_pref:((lp_idx * 50) + 100)
+                           (Fmt.str "10.0.0.%d" (peer_id + 2))))
                  | None -> Bgp.Rib.withdraw rib prefix ~peer_id
                in
                match change with
