@@ -179,6 +179,22 @@ let receive t (pkt : Packet.t) =
     arm_detection t
   end
 
+(* Fault injection: force the state machine into [state] as if the
+   detection logic had fired (or a rogue packet had been accepted). The
+   session keeps running — peers still exchanging control packets will
+   drag the FSM back through the normal RFC 5880 handshake, which is
+   exactly how a spurious flap behaves. *)
+let inject_state t state =
+  if t.state <> Packet.Admin_down && state <> t.state then begin
+    trace t "%s: fault-injected transition to %a" t.name Packet.pp_state state;
+    (match state with
+    | Packet.Down -> set_state t Packet.Down Packet.Control_detection_time_expired
+    | s -> set_state t s Packet.No_diagnostic);
+    (* An injected Up on a silent peer must still be knocked down by the
+       detection timer, so re-arm it against the last real packet. *)
+    arm_detection t
+  end
+
 let state t = t.state
 let name t = t.name
 let on_state_change t f = t.state_cb <- Some f

@@ -38,6 +38,15 @@ val detection_time : t -> Sim.Time.t
 (** Current detection time: remote detect-mult × the negotiated receive
     interval (the configured bound before negotiation completes). *)
 
+val inject_state : t -> Packet.state -> unit
+(** Fault-injection hook: forces the FSM into the given state (firing
+    {!on_state_change}) as if detection had fired or a rogue packet had
+    been accepted. No-op in [Admin_down] or when already in that state.
+    A live peer drags the session back through the normal handshake, so
+    injecting [Down] on a healthy session produces a realistic spurious
+    flap; an injected [Up] on a silent peer is re-knocked [Down] by the
+    detection timer. *)
+
 val on_state_change : t -> (Packet.state -> Packet.diagnostic -> unit) -> unit
 (** Single callback; fires on every transition, in particular
     [Up -> Down] with [Control_detection_time_expired] when the peer

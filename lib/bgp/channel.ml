@@ -17,6 +17,11 @@ type t = {
   mutable broken : bool;
   mutable epoch : int;
   mutable delivered : int;
+  mutable faults : Sim.Faults.t option;
+  (* FIFO floor per receiving side for the fragmented path: a byte
+     stream must not reorder, so fault delays only stretch it. *)
+  mutable fifo_floor_a : Sim.Time.t;
+  mutable fifo_floor_b : Sim.Time.t;
 }
 
 let create engine ?(name = "chan") ?(delay = Sim.Time.of_us 200)
@@ -41,9 +46,19 @@ let create engine ?(name = "chan") ?(delay = Sim.Time.of_us 200)
     broken = false;
     epoch = 0;
     delivered = 0;
+    faults = None;
+    fifo_floor_a = Sim.Time.zero;
+    fifo_floor_b = Sim.Time.zero;
   }
 
 let name t = t.name
+
+let set_faults t faults = t.faults <- Some faults
+
+let plan_faults t =
+  match t.faults with
+  | None -> Sim.Faults.Deliver [Sim.Time.zero]
+  | Some f -> Sim.Faults.plan f
 
 let attach t side f =
   match side with A -> t.recv_a <- Some f | B -> t.recv_b <- Some f
@@ -68,43 +83,65 @@ let reassembler t side = match side with A -> t.reassembly_a | B -> t.reassembly
 (* With [fragment] set, the encoded message is cut into TCP-segment-like
    chunks delivered separately and reassembled by the receiving side's
    {!Stream} — message boundaries no longer align with deliveries, as on
-   a real socket. *)
+   a real socket. Faults act on the whole message (the stream stands in
+   for TCP, which already hides segment loss and duplication): a Drop
+   verdict discards every chunk, and an extra delay stretches the stream
+   without reordering it — the FIFO floor keeps later messages from
+   overtaking earlier delayed ones mid-stream. *)
 let send_fragmented t from msg size =
-  let wire = Codec.encode msg in
-  let epoch_at_send = t.epoch in
-  let to_side = flip from in
-  let rec cut offset =
-    if offset < String.length wire then begin
-      let len = min size (String.length wire - offset) in
-      let chunk = String.sub wire offset len in
-      let deliver () =
-        if (not t.broken) && t.epoch = epoch_at_send then
-          match Stream.feed (reassembler t to_side) chunk with
-          | Ok msgs ->
-            List.iter
-              (fun m ->
-                match receiver t to_side with
-                | Some f ->
-                  t.delivered <- t.delivered + 1;
-                  f m
-                | None -> ())
-              msgs
-          | Error err ->
-            invalid_arg
-              (Fmt.str "Channel %s: stream reassembly failed: %a" t.name
-                 Net.Wire.pp_error err)
+  match plan_faults t with
+  | Sim.Faults.Drop -> ()
+  | Sim.Faults.Deliver (extra :: _) ->
+    let wire = Codec.encode msg in
+    let epoch_at_send = t.epoch in
+    let to_side = flip from in
+    let at =
+      let earliest =
+        Sim.Time.add (Sim.Engine.now t.engine) (Sim.Time.add t.delay extra)
       in
-      ignore (Sim.Engine.schedule_after t.engine t.delay deliver);
-      cut (offset + len)
-    end
-  in
-  cut 0
+      match to_side with
+      | A ->
+        let at = Sim.Time.max earliest t.fifo_floor_a in
+        t.fifo_floor_a <- at;
+        at
+      | B ->
+        let at = Sim.Time.max earliest t.fifo_floor_b in
+        t.fifo_floor_b <- at;
+        at
+    in
+    let rec cut offset =
+      if offset < String.length wire then begin
+        let len = min size (String.length wire - offset) in
+        let chunk = String.sub wire offset len in
+        let deliver () =
+          if (not t.broken) && t.epoch = epoch_at_send then
+            match Stream.feed (reassembler t to_side) chunk with
+            | Ok msgs ->
+              List.iter
+                (fun m ->
+                  match receiver t to_side with
+                  | Some f ->
+                    t.delivered <- t.delivered + 1;
+                    f m
+                  | None -> ())
+                msgs
+            | Error err ->
+              invalid_arg
+                (Fmt.str "Channel %s: stream reassembly failed: %a" t.name
+                   Net.Wire.pp_error err)
+        in
+        ignore (Sim.Engine.schedule_at t.engine at deliver);
+        cut (offset + len)
+      end
+    in
+    cut 0
+  | Sim.Faults.Deliver [] -> ()
 
 let send t from msg =
   if not t.broken then
     match t.fragment with
     | Some size -> send_fragmented t from msg size
-    | None ->
+    | None -> (
       let msg = through_codec t msg in
       let epoch_at_send = t.epoch in
       let deliver () =
@@ -115,7 +152,15 @@ let send t from msg =
             f msg
           | None -> ()
       in
-      ignore (Sim.Engine.schedule_after t.engine t.delay deliver)
+      match plan_faults t with
+      | Sim.Faults.Drop -> ()
+      | Sim.Faults.Deliver extras ->
+        List.iter
+          (fun extra ->
+            ignore
+              (Sim.Engine.schedule_after t.engine (Sim.Time.add t.delay extra)
+                 deliver))
+          extras)
 
 let break t =
   if not t.broken then begin

@@ -32,6 +32,16 @@ val name : t -> string
 val attach : t -> side -> (Message.t -> unit) -> unit
 (** Receive callback for the speaker plugged into [side]. *)
 
+val set_faults : t -> Sim.Faults.t -> unit
+(** Routes every subsequent {!send} through the fault injector: a
+    [Drop] verdict silently discards the message, extra delays are
+    added to the channel's own latency (delayed messages are overtaken
+    by later ones — reordering), and duplicate copies are delivered
+    separately. On a fragmented channel the verdict applies to the
+    whole message and only drop/delay are honoured (the byte stream
+    stands in for TCP, which hides segment-level duplication and never
+    reorders); a FIFO floor keeps delayed streams ordered. *)
+
 val on_break : t -> side -> (unit -> unit) -> unit
 (** Called (once) on each side when the channel breaks. *)
 

@@ -35,7 +35,13 @@ val withdraw_peer : t -> peer_id:int -> change list
 (** Removes every route of a peer (session loss). Only prefixes whose
     candidate list actually changed are reported, in ascending prefix
     order. Cost is proportional to the peer's own prefix count, not to
-    the table size. *)
+    the table size.
+
+    A peer the table has never heard from — or one already fully
+    withdrawn — is a no-op returning [[]]. Callers rely on this: a BFD
+    flap can race the slow path into issuing a second withdrawal for
+    the same session, and the duplicate must not raise or fabricate
+    change records. *)
 
 val peer_prefix_count : t -> peer_id:int -> int
 (** Number of prefixes the peer currently has a candidate for. *)

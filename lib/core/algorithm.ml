@@ -19,6 +19,8 @@ type t = {
   group_of : Backup_group.binding Prefix_table.t;
       (* the group each announced prefix currently references *)
   mutable emissions : int;
+  mutable passthrough : bool;
+      (* degraded mode: announce real next hops, no VNH rewrite *)
 }
 
 let create groups =
@@ -27,6 +29,7 @@ let create groups =
     last_sent = Prefix_table.create 4096;
     group_of = Prefix_table.create 4096;
     emissions = 0;
+    passthrough = false;
   }
 
 let distinct_next_hops routes =
@@ -49,8 +52,14 @@ let desired t (after : Bgp.Route.t list) =
     | [] | [_] -> (Some best.attrs, None)
     | nhs ->
       let binding = Backup_group.find_or_create t.groups nhs in
-      ( Some (Bgp.Attributes.with_next_hop best.attrs binding.Backup_group.vnh),
-        Some binding ))
+      (* Passthrough (degraded) mode announces the best route's real
+         next hop — the legacy O(#prefixes) FIB path — but keeps the
+         group bookkeeping alive so recovery can re-announce every VNH
+         without rebuilding state. *)
+      if t.passthrough then (Some best.attrs, Some binding)
+      else
+        ( Some (Bgp.Attributes.with_next_hop best.attrs binding.Backup_group.vnh),
+          Some binding ))
 
 (* Move the prefix's reference to [binding]: acquire-before-release so a
    swap within the same group never dips the refcount to zero. *)
@@ -103,6 +112,27 @@ let process_peer_down t rib ~peer_id =
      RIB's per-peer index, so the whole pass costs O(#prefixes routed
      via the peer), not O(table). *)
   process_changes t (Bgp.Rib.withdraw_peer rib ~peer_id)
+
+let passthrough t = t.passthrough
+
+let set_passthrough t rib on =
+  if t.passthrough = on then []
+  else begin
+    t.passthrough <- on;
+    (* Re-derive the announcement for every currently announced prefix
+       from the RIB; only prefixes whose attributes actually change
+       (VNH <-> real NH) emit, and the sort keeps the emission order —
+       and so the packed UPDATE stream — deterministic. *)
+    let prefixes =
+      List.sort Net.Prefix.compare
+        (Prefix_table.fold (fun p _ acc -> p :: acc) t.last_sent [])
+    in
+    List.filter_map
+      (fun prefix ->
+        let routes = Bgp.Rib.ordered rib prefix in
+        process_change t { Bgp.Rib.prefix; before = routes; after = routes })
+      prefixes
+  end
 
 let last_announced t prefix = Prefix_table.find_opt t.last_sent prefix
 

@@ -39,6 +39,19 @@ val process_peer_down : t -> Bgp.Rib.t -> peer_id:int -> emission list
     per-peer index, so the cost is bounded by the peer's own prefix
     count) and runs each resulting change through {!process_change}. *)
 
+val passthrough : t -> bool
+
+val set_passthrough : t -> Bgp.Rib.t -> bool -> emission list
+(** Degradation ladder switch. With passthrough [true] the algorithm
+    stops rewriting next hops: every prefix is announced with its best
+    route's {e real} next hop, so the downstream router falls back to
+    its own O(#prefixes) FIB convergence — the legacy path used while
+    the switch is unresponsive. Group bookkeeping continues so nothing
+    must be rebuilt on recovery. Toggling returns the re-announcements
+    (derived from [rib], one per prefix whose attributes change, in
+    prefix order) to relay downstream; toggling to the current mode
+    returns []. *)
+
 val last_announced : t -> Net.Prefix.t -> Bgp.Attributes.t option
 (** What the router currently believes about a prefix (for tests and
     invariant checks). *)

@@ -16,11 +16,33 @@ type downstream = {
   mutable down_pending : Bgp.Message.update list; (* reversed, until established *)
 }
 
+type mode = Supercharged | Degraded
+
+let pp_mode ppf = function
+  | Supercharged -> Fmt.string ppf "supercharged"
+  | Degraded -> Fmt.string ppf "degraded"
+
+(* A barrier whose reply the controller is still waiting for. Failover
+   barriers carry the failed peer (so a timeout can re-issue that
+   failover's rewrites) and the BFD-down instant (for the latency
+   histogram); degraded-mode probes carry neither. *)
+type pending_ack = {
+  pa_xid : int;
+  pa_failed : Net.Ipv4.t option;
+  pa_down_at : Sim.Time.t option;
+  pa_attempt : int;
+  mutable pa_timer : Sim.Engine.handle option;
+}
+
 type t = {
   engine : Sim.Engine.t;
   name : string;
   reroute_latency : Sim.Time.t;
   group_linger : Sim.Time.t;
+  ack_timeout : Sim.Time.t;
+  ack_max_retries : int;
+  bfd_debounce : Sim.Time.t;
+  probe_interval : Sim.Time.t;
   bfd_detect_mult : int;
   bfd_tx_interval : Sim.Time.t;
   speaker : Bgp.Speaker.t;
@@ -40,13 +62,21 @@ type t = {
   mutable updates_processed : int;
   mutable started : bool;
   mutable next_xid : int;
-  mutable failover_waits : (int * Sim.Time.t) list;
-      (* barrier xid -> BFD-down instant, for failover-latency measurement *)
+  mutable mode : mode;
+  mutable pending_acks : pending_ack list;
+  mutable slow_path_waits : (Net.Ipv4.t * Sim.Engine.handle) list;
+      (* debounced per-peer RIB withdrawals; cancelled by a flap's Up *)
+  mutable probe_task : Sim.Engine.handle option;
   m_updates : Obs.Metrics.counter;
   m_updates_sent : Obs.Metrics.counter;
   m_emissions : Obs.Metrics.counter;
   m_groups_live : Obs.Metrics.gauge;
   m_failover : Obs.Histogram.t;
+  m_ack_timeouts : Obs.Metrics.counter;
+  m_rule_retries : Obs.Metrics.counter;
+  m_degradations : Obs.Metrics.counter;
+  m_recoveries : Obs.Metrics.counter;
+  m_flaps_suppressed : Obs.Metrics.counter;
 }
 
 let trace t fmt =
@@ -55,8 +85,11 @@ let trace t fmt =
 
 let create engine ~name ~asn ~router_id ?(group_size = 2)
     ?(reroute_latency = Sim.Time.of_ms 25) ?(group_linger = Sim.Time.of_sec 5.0)
+    ?(ack_timeout = Sim.Time.of_ms 100) ?(ack_max_retries = 3)
+    ?(bfd_debounce = Sim.Time.of_ms 100) ?(probe_interval = Sim.Time.of_ms 250)
     ?(bfd_detect_mult = 3) ?(bfd_tx_interval = Sim.Time.of_ms 40) ?vnh_pool
     ?vmac_base () =
+  if ack_max_retries < 1 then invalid_arg "Controller.create: ack_max_retries";
   let allocator = Vnh.create ?pool:vnh_pool ?vmac_base () in
   let groups = Backup_group.create ~group_size allocator in
   let metrics = Sim.Engine.metrics engine in
@@ -65,6 +98,10 @@ let create engine ~name ~asn ~router_id ?(group_size = 2)
     name;
     reroute_latency;
     group_linger;
+    ack_timeout;
+    ack_max_retries;
+    bfd_debounce;
+    probe_interval;
     bfd_detect_mult;
     bfd_tx_interval;
     speaker = Bgp.Speaker.create engine ~name ~asn ~router_id ();
@@ -84,12 +121,20 @@ let create engine ~name ~asn ~router_id ?(group_size = 2)
     updates_processed = 0;
     started = false;
     next_xid = 1;
-    failover_waits = [];
+    mode = Supercharged;
+    pending_acks = [];
+    slow_path_waits = [];
+    probe_task = None;
     m_updates = Obs.Metrics.counter metrics "controller.updates_processed";
     m_updates_sent = Obs.Metrics.counter metrics "controller.updates_sent";
     m_emissions = Obs.Metrics.counter metrics "controller.emissions";
     m_groups_live = Obs.Metrics.gauge metrics "controller.groups_live";
     m_failover = Obs.Metrics.histogram metrics "controller.failover_seconds";
+    m_ack_timeouts = Obs.Metrics.counter metrics "controller.ack_timeouts";
+    m_rule_retries = Obs.Metrics.counter metrics "controller.rule_retries";
+    m_degradations = Obs.Metrics.counter metrics "controller.degradations";
+    m_recoveries = Obs.Metrics.counter metrics "controller.recoveries";
+    m_flaps_suppressed = Obs.Metrics.counter metrics "controller.bfd_flaps_suppressed";
   }
 
 let name t = t.name
@@ -181,32 +226,136 @@ let handle_upstream_update t (up : upstream) update =
     relay_emissions t (Algorithm.process_changes t.algorithm changes)
   end
 
-(* --- failure handling (Listing 2 + slow path) -------------------------- *)
+(* --- failure handling (Listing 2 + retry ladder + slow path) ----------- *)
 
 (* Bracket the failover's flow-mods with a barrier: the switch answers
    it only after every queued rule change has been applied, so the
    barrier reply timestamps the instant the data plane actually
-   converged. The BFD-down instant is remembered against the barrier's
-   xid; the reply observes the difference into the failover
-   histogram. *)
-let send_failover_barrier t ~down_at =
+   converged. The controller is no longer optimistic about that reply:
+   each barrier is tracked, and a missing reply re-issues the rewrites
+   idempotently with exponential backoff until, after [ack_max_retries]
+   attempts, the controller degrades to the legacy path. *)
+let rec send_tracked_barrier t ?failed ?down_at ~attempt () =
   match t.to_switch with
   | None -> ()
   | Some send ->
     let xid = t.next_xid in
     t.next_xid <- t.next_xid + 1;
-    t.failover_waits <- (xid, down_at) :: t.failover_waits;
+    let pa =
+      { pa_xid = xid; pa_failed = failed; pa_down_at = down_at;
+        pa_attempt = attempt; pa_timer = None }
+    in
+    t.pending_acks <- pa :: t.pending_acks;
+    let timeout = Sim.Time.mul t.ack_timeout (1 lsl min (attempt - 1) 16) in
+    pa.pa_timer <-
+      Some (Sim.Engine.schedule_after t.engine timeout (fun () ->
+                handle_ack_timeout t pa));
     send (Openflow.Message.Barrier_request xid)
 
-let handle_barrier_reply t xid =
-  match List.assoc_opt xid t.failover_waits with
-  | None -> ()
-  | Some down_at ->
-    t.failover_waits <- List.remove_assoc xid t.failover_waits;
-    let latency = Sim.Time.sub (Sim.Engine.now t.engine) down_at in
-    Obs.Histogram.observe t.m_failover (Sim.Time.to_sec latency);
-    trace t "%s: failover data plane converged %.3f ms after detection" t.name
-      (Sim.Time.to_ms latency)
+and handle_ack_timeout t pa =
+  if List.memq pa t.pending_acks then begin
+    t.pending_acks <- List.filter (fun p -> p != pa) t.pending_acks;
+    Obs.Metrics.incr t.m_ack_timeouts;
+    trace t "%s: barrier %d unanswered (attempt %d/%d)" t.name pa.pa_xid
+      pa.pa_attempt t.ack_max_retries;
+    if pa.pa_attempt < t.ack_max_retries then begin
+      (* Re-issue the rewrites this barrier brackets. [reinstall_groups]
+         re-sends each rule pointing at its first alive member, so a
+         retry that crosses an already-applied flow-mod is harmless. *)
+      (match pa.pa_failed with
+      | Some ip ->
+        Obs.Metrics.incr t.m_rule_retries;
+        ignore
+          (Provisioner.reinstall_groups (provisioner_exn t)
+             (Backup_group.with_member t.groups ip))
+      | None -> ());
+      send_tracked_barrier t ?failed:pa.pa_failed ?down_at:pa.pa_down_at
+        ~attempt:(pa.pa_attempt + 1) ()
+    end
+    else enter_degraded t
+  end
+
+(* The switch has stopped answering: fall back to the legacy path. The
+   algorithm re-announces every prefix with its best route's real next
+   hop, so the downstream router converges through its own O(#prefixes)
+   FIB — slower, but correct without any switch rule. Probes keep
+   testing the switch; the first answered barrier triggers recovery. *)
+and enter_degraded t =
+  if t.mode = Supercharged then begin
+    t.mode <- Degraded;
+    Obs.Metrics.incr t.m_degradations;
+    trace t "%s: switch unresponsive; degrading to the legacy path" t.name;
+    relay_emissions t (Algorithm.set_passthrough t.algorithm t.rib true);
+    if t.probe_task = None then
+      t.probe_task <-
+        Some
+          (Sim.Engine.every t.engine ~interval:t.probe_interval (fun () ->
+               send_tracked_barrier t ~attempt:t.ack_max_retries ()))
+  end
+
+and recover t =
+  if t.mode = Degraded then begin
+    t.mode <- Supercharged;
+    Obs.Metrics.incr t.m_recoveries;
+    (match t.probe_task with Some h -> Sim.Engine.cancel h | None -> ());
+    t.probe_task <- None;
+    (* Everything still pending belongs to the blackout epoch; a stale
+       probe timing out after recovery must not re-degrade. *)
+    List.iter
+      (fun pa -> match pa.pa_timer with Some h -> Sim.Engine.cancel h | None -> ())
+      t.pending_acks;
+    t.pending_acks <- [];
+    (* Rules first, announcements second: the router must never tag
+       with a VMAC whose rule was eaten by the blackout. *)
+    let live =
+      List.filter (fun b -> Backup_group.refs b > 0) (Backup_group.all t.groups)
+    in
+    let reinstalled = Provisioner.reinstall_groups (provisioner_exn t) live in
+    relay_emissions t (Algorithm.set_passthrough t.algorithm t.rib false);
+    trace t "%s: switch answering again; re-installed %d rules, supercharged mode"
+      t.name reinstalled;
+    (* Bracket the re-installation itself: if the switch goes dark again
+       the ladder restarts from a fresh barrier. *)
+    send_tracked_barrier t ~attempt:1 ()
+  end
+
+and handle_barrier_reply t xid =
+  match List.find_opt (fun pa -> pa.pa_xid = xid) t.pending_acks with
+  | None -> () (* stale or duplicated reply *)
+  | Some pa ->
+    t.pending_acks <- List.filter (fun p -> p != pa) t.pending_acks;
+    (match pa.pa_timer with Some h -> Sim.Engine.cancel h | None -> ());
+    (match pa.pa_down_at with
+    | Some down_at ->
+      let latency = Sim.Time.sub (Sim.Engine.now t.engine) down_at in
+      Obs.Histogram.observe t.m_failover (Sim.Time.to_sec latency);
+      trace t "%s: failover data plane converged %.3f ms after detection" t.name
+        (Sim.Time.to_ms latency)
+    | None -> ());
+    if t.mode = Degraded then recover t
+
+(* The slow path is debounced: it only withdraws the peer's routes once
+   the failure has persisted for [bfd_debounce]. A spurious BFD flap
+   (Down immediately followed by Up) therefore costs two cheap rule
+   re-points and zero RIB/BGP churn. *)
+let run_slow_path t failed_ip =
+  t.slow_path_waits <-
+    List.filter (fun (ip, _) -> not (Net.Ipv4.equal ip failed_ip)) t.slow_path_waits;
+  if List.exists (Net.Ipv4.equal failed_ip) t.failed then
+    match
+      List.find_opt (fun up -> Net.Ipv4.equal up.up_ip failed_ip) t.upstreams
+    with
+    | Some up ->
+      relay_emissions t
+        (Algorithm.process_peer_down t.algorithm t.rib ~peer_id:up.up_peer.id)
+    | None -> ()
+  else begin
+    (* Recovered before the debounce fired without a cancellable wait:
+       the flap is absorbed with the RIB untouched. *)
+    Obs.Metrics.incr t.m_flaps_suppressed;
+    trace t "%s: flap of %a absorbed; slow path skipped" t.name Net.Ipv4.pp
+      failed_ip
+  end
 
 let handle_peer_failure t failed_ip =
   if not (List.exists (Net.Ipv4.equal failed_ip) t.failed) then begin
@@ -221,27 +370,38 @@ let handle_peer_failure t failed_ip =
                (Backup_group.with_member t.groups failed_ip)
            in
            t.failovers <- t.failovers + 1;
-           send_failover_barrier t ~down_at;
+           send_tracked_barrier t ~failed:failed_ip ~down_at ~attempt:1 ();
            trace t "%s: rerouted %d backup-groups away from %a" t.name flow_mods
              Net.Ipv4.pp failed_ip;
            (match t.failover_cb with
            | Some f -> f ~failed:failed_ip ~flow_mods
            | None -> ());
-           (* ...then the slow path: withdraw the peer's routes so the
-              router reconverges in the background. *)
-           match
-             List.find_opt (fun up -> Net.Ipv4.equal up.up_ip failed_ip) t.upstreams
-           with
-           | Some up ->
-             relay_emissions t
-               (Algorithm.process_peer_down t.algorithm t.rib
-                  ~peer_id:up.up_peer.id)
-           | None -> ()))
+           (* ...then the slow path, debounced against flaps: withdraw
+              the peer's routes so the router reconverges in the
+              background. *)
+           let wait =
+             Sim.Engine.schedule_after t.engine t.bfd_debounce (fun () ->
+                 run_slow_path t failed_ip)
+           in
+           t.slow_path_waits <- (failed_ip, wait) :: t.slow_path_waits))
   end
 
 let handle_peer_recovery t revived_ip =
   if List.exists (Net.Ipv4.equal revived_ip) t.failed then begin
     t.failed <- List.filter (fun ip -> not (Net.Ipv4.equal ip revived_ip)) t.failed;
+    (match
+       List.find_opt (fun (ip, _) -> Net.Ipv4.equal ip revived_ip) t.slow_path_waits
+     with
+    | Some (_, wait) ->
+      Sim.Engine.cancel wait;
+      t.slow_path_waits <-
+        List.filter
+          (fun (ip, _) -> not (Net.Ipv4.equal ip revived_ip))
+          t.slow_path_waits;
+      Obs.Metrics.incr t.m_flaps_suppressed;
+      trace t "%s: flap of %a suppressed within debounce" t.name Net.Ipv4.pp
+        revived_ip
+    | None -> ());
     trace t "%s: peer %a recovered; scheduling repair" t.name Net.Ipv4.pp revived_ip;
     ignore
       (Sim.Engine.schedule_after t.engine t.reroute_latency (fun () ->
@@ -314,7 +474,27 @@ let through_of_codec t msg =
       (Fmt.str "%s: OpenFlow message failed codec round-trip: %a" t.name
          Net.Wire.pp_error err)
 
-let connect_switch ?(use_codec = false) t switch =
+let connect_switch ?(use_codec = false) ?faults t switch =
+  (* An injector on the OpenFlow control path sees both directions:
+     flow-mods and barriers towards the switch, packet-ins and barrier
+     replies back. Dropped flow-mods are what the retry ladder exists
+     for; extra copies and delays exercise its idempotence. *)
+  let with_faults f =
+    match faults with
+    | None -> f
+    | Some injector ->
+      fun msg ->
+        (match Sim.Faults.plan injector with
+        | Sim.Faults.Drop -> ()
+        | Sim.Faults.Deliver extras ->
+          List.iter
+            (fun extra ->
+              if Sim.Time.equal extra Sim.Time.zero then f msg
+              else
+                ignore
+                  (Sim.Engine.schedule_after t.engine extra (fun () -> f msg)))
+            extras)
+  in
   let send_ref = ref (fun _ -> ()) in
   let from_switch msg =
     let msg = if use_codec then through_of_codec t msg else msg in
@@ -328,9 +508,12 @@ let connect_switch ?(use_codec = false) t switch =
     | Openflow.Message.Packet_out _ | Openflow.Message.Barrier_request _ ->
       ()
   in
-  let raw_send = Openflow.Switch.connect_controller switch from_switch in
-  let send msg =
-    raw_send (if use_codec then through_of_codec t msg else msg)
+  let raw_send =
+    Openflow.Switch.connect_controller switch (with_faults from_switch)
+  in
+  let send =
+    with_faults (fun msg ->
+        raw_send (if use_codec then through_of_codec t msg else msg))
   in
   send_ref := send;
   t.to_switch <- Some send;
@@ -457,6 +640,9 @@ let rib t = t.rib
 let groups t = t.groups
 let algorithm t = t.algorithm
 let provisioner t = provisioner_exn t
+let mode t = t.mode
+let degraded t = t.mode = Degraded
+let bfd_session t ip = Ip_table.find_opt t.bfd_sessions ip
 
 let set_igp_cost_fn t f = t.igp_cost_fn <- Some f
 

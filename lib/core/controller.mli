@@ -24,9 +24,26 @@
 
     Two controllers fed the same sessions compute identical VNH/VMAC
     assignments and rules (everything here is deterministic in the input
-    order), which is the paper's state-free replication argument. *)
+    order), which is the paper's state-free replication argument.
+
+    The controller does not trust the switch blindly. Every failover's
+    flow-mods are bracketed by a tracked barrier; a missing reply
+    re-issues the rewrites idempotently with exponential backoff
+    ([ack_timeout] × 2^attempt), and after [ack_max_retries] silent
+    attempts the controller {e degrades}: the algorithm switches to
+    passthrough (real next hops, the router's own O(#prefixes) FIB
+    convergence) while periodic barrier probes test the switch. The
+    first answered probe re-installs every live group rule and
+    re-announces the VNHs — supercharged mode again. BFD Down events
+    re-point rules immediately but the RIB withdrawal (slow path) is
+    debounced by [bfd_debounce], so a spurious flap costs two rule
+    re-points and zero BGP churn. *)
 
 type t
+
+type mode = Supercharged | Degraded
+
+val pp_mode : Format.formatter -> mode -> unit
 
 val create :
   Sim.Engine.t ->
@@ -36,6 +53,10 @@ val create :
   ?group_size:int ->
   ?reroute_latency:Sim.Time.t ->
   ?group_linger:Sim.Time.t ->
+  ?ack_timeout:Sim.Time.t ->
+  ?ack_max_retries:int ->
+  ?bfd_debounce:Sim.Time.t ->
+  ?probe_interval:Sim.Time.t ->
   ?bfd_detect_mult:int ->
   ?bfd_tx_interval:Sim.Time.t ->
   ?vnh_pool:Net.Prefix.t ->
@@ -44,15 +65,24 @@ val create :
   t
 (** Defaults: [group_size] 2; [reroute_latency] 25 ms; [group_linger]
     5 s (how long an unreferenced backup-group keeps its rule before
-    being garbage-collected and its VNH/VMAC recycled); BFD 3 × 40 ms;
-    allocator defaults of {!Vnh.create}.
+    being garbage-collected and its VNH/VMAC recycled); [ack_timeout]
+    100 ms (base barrier-reply timeout, doubled per attempt);
+    [ack_max_retries] 3 (attempts before degrading); [bfd_debounce]
+    100 ms (flap window before the slow-path RIB withdrawal fires);
+    [probe_interval] 250 ms (barrier probes while degraded); BFD
+    3 × 40 ms; allocator defaults of {!Vnh.create}.
 
     The controller registers its metrics in the engine's registry:
     counters [controller.updates_processed], [controller.updates_sent]
-    (UPDATE messages on the wire towards routers) and
-    [controller.emissions]; gauge [controller.groups_live]; histogram
+    (UPDATE messages on the wire towards routers),
+    [controller.emissions], [controller.ack_timeouts],
+    [controller.rule_retries], [controller.degradations],
+    [controller.recoveries] and [controller.bfd_flaps_suppressed];
+    gauge [controller.groups_live]; histogram
     [controller.failover_seconds] (BFD-down to last failover flow-mod
-    applied, measured with an OpenFlow barrier). *)
+    applied, measured with an OpenFlow barrier).
+
+    @raise Invalid_argument if [ack_max_retries < 1]. *)
 
 val name : t -> string
 
@@ -63,11 +93,15 @@ val updates_of_emissions : Algorithm.emission list -> Bgp.Message.update list
     withdrawals become one update's [withdrawn] list. Exposed for
     tests. *)
 
-val connect_switch : ?use_codec:bool -> t -> Openflow.Switch.t -> unit
+val connect_switch :
+  ?use_codec:bool -> ?faults:Sim.Faults.t -> t -> Openflow.Switch.t -> unit
 (** Must be called before {!start}. With [use_codec:true] every message
     in both directions is round-tripped through the OpenFlow 1.0 binary
     codec in transit, exercising the real wire format (the integration
-    tests run this way); a codec bug surfaces as [Invalid_argument]. *)
+    tests run this way); a codec bug surfaces as [Invalid_argument].
+    [faults] interposes an injector on the control path in both
+    directions: dropped flow-mods and barrier replies feed the retry
+    ladder; duplicates and delays exercise its idempotence. *)
 
 val attach_dataplane : t -> Router.Endhost.t -> unit
 (** The controller machine's NIC (wire its link to a switch port
@@ -109,6 +143,15 @@ val rib : t -> Bgp.Rib.t
 val groups : t -> Backup_group.t
 val algorithm : t -> Algorithm.t
 val provisioner : t -> Provisioner.t
+
+val mode : t -> mode
+
+val degraded : t -> bool
+(** [true] while the controller has fallen back to the legacy path. *)
+
+val bfd_session : t -> Net.Ipv4.t -> Bfd.Session.t option
+(** The BFD session towards an upstream peer, if {!start} created one.
+    Exposed so fault harnesses can inject spurious state transitions. *)
 
 val set_igp_cost_fn : t -> (Net.Ipv4.t -> int) -> unit
 (** Plugs an IGP cost oracle (e.g. [Igp.Node.distance_to]) into the

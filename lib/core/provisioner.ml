@@ -112,6 +112,11 @@ let fail_peer t failed_ip groups =
     groups;
   t.flow_mods - before
 
+let reinstall_groups t groups =
+  let before = t.flow_mods in
+  List.iter (fun binding -> install_group t binding) groups;
+  t.flow_mods - before
+
 let revive_peer t ip = Ip_table.remove t.dead ip
 
 let flow_mods_sent t = t.flow_mods

@@ -54,6 +54,13 @@ val fail_peer : t -> Net.Ipv4.t -> Backup_group.binding list -> int
     whose selected member was that peer. Returns the number of flow-mods
     issued. *)
 
+val reinstall_groups : t -> Backup_group.binding list -> int
+(** Idempotent re-issue: re-sends every supplied group's rule, pointing
+    at its first currently-alive member (the rule an earlier — possibly
+    lost — flow-mod should have installed). Returns the number of
+    flow-mods issued. The controller's retry and blackout-recovery
+    paths are built on this. *)
+
 val revive_peer : t -> Net.Ipv4.t -> unit
 (** Marks a peer alive again (groups are not automatically re-pointed;
     the control plane re-announces and reconverges instead, matching the

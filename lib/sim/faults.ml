@@ -1,0 +1,132 @@
+type profile = {
+  label : string;
+  drop : float;
+  duplicate : float;
+  delay_prob : float;
+  delay_min : Time.t;
+  delay_max : Time.t;
+}
+
+let check_probability what p =
+  if p < 0.0 || p > 1.0 then
+    invalid_arg (Fmt.str "Faults.profile: %s = %g outside [0, 1]" what p)
+
+let profile ?(drop = 0.0) ?(duplicate = 0.0) ?(delay_prob = 0.0)
+    ?(delay_min = Time.zero) ?(delay_max = Time.of_ms 5) label =
+  check_probability "drop" drop;
+  check_probability "duplicate" duplicate;
+  check_probability "delay_prob" delay_prob;
+  if Time.(delay_max < delay_min) then
+    invalid_arg "Faults.profile: delay_min > delay_max";
+  { label; drop; duplicate; delay_prob; delay_min; delay_max }
+
+let none = profile "none"
+let lossy = profile ~drop:0.10 ~delay_prob:0.20 ~delay_max:(Time.of_ms 5) "lossy"
+
+let chaos =
+  profile ~drop:0.20 ~duplicate:0.10 ~delay_prob:0.50 ~delay_max:(Time.of_ms 20)
+    "chaos"
+
+let blackout = profile ~drop:1.0 "blackout"
+
+let of_name = function
+  | "none" -> Some none
+  | "lossy" -> Some lossy
+  | "chaos" -> Some chaos
+  | "blackout" -> Some blackout
+  | _ -> None
+
+type t = {
+  engine : Engine.t;
+  name : string;
+  rng : Rng.t;
+  mutable active : profile;
+  mutable decisions : int;
+  mutable dropped : int;
+  mutable delayed : int;
+  mutable duplicated : int;
+  m_decisions : Obs.Metrics.counter;
+  m_dropped : Obs.Metrics.counter;
+  m_delayed : Obs.Metrics.counter;
+  m_duplicated : Obs.Metrics.counter;
+}
+
+let create engine ?(name = "faults") ~seed active =
+  let scope = Obs.Metrics.Scope.v (Engine.metrics engine) ("faults." ^ name) in
+  {
+    engine;
+    name;
+    rng = Rng.create ~seed;
+    active;
+    decisions = 0;
+    dropped = 0;
+    delayed = 0;
+    duplicated = 0;
+    m_decisions = Obs.Metrics.Scope.counter scope "decisions";
+    m_dropped = Obs.Metrics.Scope.counter scope "dropped";
+    m_delayed = Obs.Metrics.Scope.counter scope "delayed";
+    m_duplicated = Obs.Metrics.Scope.counter scope "duplicated";
+  }
+
+let trace t fmt =
+  Trace.emitf (Engine.trace t.engine) (Engine.now t.engine) ~category:"faults" fmt
+
+let set_profile t p =
+  if p.label <> t.active.label then
+    trace t "%s: profile %s -> %s" t.name t.active.label p.label;
+  t.active <- p
+
+let active t = t.active
+
+let during t ~from ~until p =
+  if Time.(until < from) then invalid_arg "Faults.during: until < from";
+  let saved = ref t.active in
+  ignore
+    (Engine.schedule_at t.engine from (fun () ->
+         saved := t.active;
+         set_profile t p));
+  ignore (Engine.schedule_at t.engine until (fun () -> set_profile t !saved))
+
+type verdict =
+  | Drop
+  | Deliver of Time.t list
+
+let hit t p = p > 0.0 && Rng.float t.rng 1.0 < p
+
+(* Uniform extra delay in [delay_min, delay_max]. *)
+let draw_delay t =
+  let p = t.active in
+  let span = Int64.to_float (Time.to_ns (Time.sub p.delay_max p.delay_min)) in
+  let extra = if span <= 0.0 then 0.0 else Rng.float t.rng span in
+  Time.add p.delay_min (Time.of_ns (Int64.of_float extra))
+
+let copy_delay t =
+  if hit t t.active.delay_prob then begin
+    t.delayed <- t.delayed + 1;
+    Obs.Metrics.incr t.m_delayed;
+    draw_delay t
+  end
+  else Time.zero
+
+let plan t =
+  t.decisions <- t.decisions + 1;
+  Obs.Metrics.incr t.m_decisions;
+  if hit t t.active.drop then begin
+    t.dropped <- t.dropped + 1;
+    Obs.Metrics.incr t.m_dropped;
+    Drop
+  end
+  else begin
+    let first = copy_delay t in
+    if hit t t.active.duplicate then begin
+      t.duplicated <- t.duplicated + 1;
+      Obs.Metrics.incr t.m_duplicated;
+      Deliver [first; copy_delay t]
+    end
+    else Deliver [first]
+  end
+
+let decisions t = t.decisions
+let dropped t = t.dropped
+let delayed t = t.delayed
+let duplicated t = t.duplicated

@@ -1,0 +1,91 @@
+(** Deterministic fault injection for simulated transports.
+
+    A fault injector sits on a message path (a {!Bgp.Channel}, the
+    OpenFlow control channel, …) and decides, per message, whether to
+    deliver it, drop it, delay it, or deliver extra copies. Decisions
+    are drawn from the injector's own seeded {!Rng} stream, so a
+    scenario is replayable bit-for-bit: the same seed and the same
+    traffic produce the same fault schedule. Extra delays reorder
+    messages naturally — a delayed message is overtaken by later,
+    undelayed ones.
+
+    Every decision is counted both in cheap per-injector counters and
+    in the engine's {!Obs.Metrics} registry under
+    [faults.<name>.{decisions,dropped,delayed,duplicated}], so two runs
+    of the same seeded scenario can be compared counter-for-counter. *)
+
+type profile = {
+  label : string;  (** for traces and scenario logs *)
+  drop : float;  (** probability a message is dropped, [0, 1] *)
+  duplicate : float;  (** probability a second copy is delivered *)
+  delay_prob : float;  (** probability a copy gets an extra delay *)
+  delay_min : Time.t;  (** extra-delay lower bound (inclusive) *)
+  delay_max : Time.t;  (** extra-delay upper bound *)
+}
+
+val profile :
+  ?drop:float ->
+  ?duplicate:float ->
+  ?delay_prob:float ->
+  ?delay_min:Time.t ->
+  ?delay_max:Time.t ->
+  string ->
+  profile
+(** [profile name] is a fault-free profile with the given fields
+    overridden. Delay bounds default to 0 and 5 ms.
+    @raise Invalid_argument on probabilities outside [0, 1] or
+    [delay_min > delay_max]. *)
+
+val none : profile
+(** Faultless passthrough — the baseline every scenario is compared
+    against. *)
+
+val lossy : profile
+(** 10 % drop, 20 % of survivors delayed up to 5 ms — the acceptance
+    scenario's message-loss regime. *)
+
+val chaos : profile
+(** 20 % drop, 10 % duplicates, half of everything delayed up to
+    20 ms. *)
+
+val blackout : profile
+(** Drops everything — a switch (or peer) that has stopped answering. *)
+
+val of_name : string -> profile option
+(** Looks up one of the named profiles above ("none", "lossy", "chaos",
+    "blackout") — how a scenario spec references them. *)
+
+type t
+
+val create : Engine.t -> ?name:string -> seed:int64 -> profile -> t
+(** A fresh injector with its own splitmix stream. [name] (default
+    "faults") scopes the metric names, so several injectors in one run
+    stay distinguishable. *)
+
+val set_profile : t -> profile -> unit
+(** Swap the active profile; takes effect on the next {!plan}. *)
+
+val active : t -> profile
+
+val during : t -> from:Time.t -> until:Time.t -> profile -> unit
+(** Schedules [profile] to be active on the window [[from, until)] and
+    the previously active profile to be restored at [until] — how a
+    scenario expresses "the control channel blacks out from 2 s to
+    4 s". *)
+
+type verdict =
+  | Drop
+  | Deliver of Time.t list
+      (** extra delay per copy to deliver; head is the original copy,
+          any further elements are duplicates *)
+
+val plan : t -> verdict
+(** Draws one decision for one message. The transport applies it:
+    [Drop] means silently discard; [Deliver extras] means schedule one
+    delivery per element, each with that much delay added to the
+    transport's own latency. *)
+
+val decisions : t -> int
+val dropped : t -> int
+val delayed : t -> int
+val duplicated : t -> int

@@ -224,7 +224,7 @@ let codec_tests =
         match Codec.decode (String.sub raw 0 (String.length raw - 3)) with
         | Error _ -> ()
         | Ok _ -> Alcotest.fail "accepted truncation");
-    QCheck_alcotest.to_alcotest
+    Test_seed.to_alcotest
       (QCheck.Test.make ~name:"update codec round-trip" ~count:300 arbitrary_update
          (fun msg ->
            match Codec.decode_exact (Codec.encode msg) with
@@ -265,7 +265,7 @@ let stream_tests =
         let msgs = List.rev !out in
         Alcotest.(check int) "count" 5 (List.length msgs);
         List.iter2 (Alcotest.check message "msg") sample_messages msgs);
-    QCheck_alcotest.to_alcotest
+    Test_seed.to_alcotest
       (QCheck.Test.make ~name:"any chunking yields the same messages" ~count:100
          QCheck.(small_list (1 -- 37))
          (fun cut_sizes ->
@@ -344,6 +344,22 @@ let rib_tests =
         let changes = Rib.withdraw_peer rib ~peer_id:0 in
         Alcotest.(check int) "three changes" 3 (List.length changes);
         Alcotest.(check int) "one prefix survives" 1 (Rib.cardinal rib));
+    Alcotest.test_case "withdraw_peer of an unknown peer is a no-op" `Quick
+      (fun () ->
+        (* A flap can race the slow path into withdrawing the same
+           session twice; the duplicate (and a never-seen peer) must
+           return [] without disturbing the table. *)
+        let rib = Rib.create () in
+        ignore (Rib.announce rib (pfx "1.0.0.0/24") (route ~peer_id:0 (attrs "10.0.0.2")));
+        Alcotest.(check int) "never-seen peer yields no changes" 0
+          (List.length (Rib.withdraw_peer rib ~peer_id:42));
+        Alcotest.(check int) "table untouched" 1 (Rib.cardinal rib);
+        Alcotest.(check int) "first withdrawal reports the route" 1
+          (List.length (Rib.withdraw_peer rib ~peer_id:0));
+        Alcotest.(check int) "repeat withdrawal is empty" 0
+          (List.length (Rib.withdraw_peer rib ~peer_id:0));
+        Alcotest.(check int) "index holds no phantom prefixes" 0
+          (Rib.peer_prefix_count rib ~peer_id:0));
     Alcotest.test_case "apply_update handles withdrawals then announcements" `Quick
       (fun () ->
         let rib = Rib.create () in
@@ -395,7 +411,7 @@ let rib_tests =
         ignore (Rib.withdraw_peer rib ~peer_id:3);
         Alcotest.(check int) "empty after peer-down" 0 (Rib.peer_prefix_count rib ~peer_id:3);
         Alcotest.(check int) "table empty too" 0 (Rib.cardinal rib));
-    QCheck_alcotest.to_alcotest
+    Test_seed.to_alcotest
       (QCheck.Test.make ~name:"rib stays ranked under random ops" ~count:200
          QCheck.(small_list (pair (0 -- 4) (option (100 -- 300))))
          (fun ops ->
@@ -494,7 +510,7 @@ let change_matches (c : Rib.change) (p, before, after) =
 
 let indexed_equivalence_tests =
   [
-    QCheck_alcotest.to_alcotest
+    Test_seed.to_alcotest
       (QCheck.Test.make ~name:"indexed rib == naive reference on random interleavings"
          ~count:300
          QCheck.(small_list gen_rib_op)

@@ -35,7 +35,7 @@ let stats_tests =
              ignore (Experiments.Stats.summarize [||]);
              false
            with Invalid_argument _ -> true));
-    QCheck_alcotest.to_alcotest
+    Test_seed.to_alcotest
       (QCheck.Test.make ~name:"percentile stays within [min,max]" ~count:200
          QCheck.(pair (list_of_size (Gen.int_range 1 50) (float_bound_exclusive 1000.0)) (0 -- 100))
          (fun (xs, p) ->

@@ -101,7 +101,7 @@ let spf_tests =
         in
         Alcotest.(check (option int)) "now via heavy direct link" (Some 5)
           (Igp.Spf.distance_to ~source:(ip "10.0.0.1") ~lsas (ip "10.0.0.3")));
-    QCheck_alcotest.to_alcotest
+    Test_seed.to_alcotest
       (QCheck.Test.make ~name:"SPF agrees with Bellman-Ford" ~count:150
          QCheck.(small_list (pair (pair (0 -- 5) (0 -- 5)) (1 -- 9)))
          (fun raw_edges ->

@@ -14,6 +14,7 @@ let () =
          Test_igp.suite;
          Test_supercharger.suite;
          Test_controller.suite;
+         Test_faults.suite;
          Test_trafficgen.suite;
          Test_workloads.suite;
          Test_experiments.suite;

@@ -51,7 +51,7 @@ let ipv4_tests =
         Alcotest.(check bool) "bit 0" true (Ipv4.bit a 0);
         Alcotest.(check bool) "bit 1" false (Ipv4.bit a 1);
         Alcotest.(check bool) "bit 31" true (Ipv4.bit a 31));
-    QCheck_alcotest.to_alcotest
+    Test_seed.to_alcotest
       (QCheck.Test.make ~name:"ipv4 string round-trip" ~count:500 arbitrary_ipv4
          (fun a ->
            match Ipv4.of_string (Ipv4.to_string a) with
@@ -146,7 +146,7 @@ let mac_tests =
     Alcotest.test_case "bytes round-trip" `Quick (fun () ->
         let m = Mac.of_bytes [|1; 2; 3; 4; 5; 6|] in
         Alcotest.(check (array int)) "bytes" [|1; 2; 3; 4; 5; 6|] (Mac.to_bytes m));
-    QCheck_alcotest.to_alcotest
+    Test_seed.to_alcotest
       (QCheck.Test.make ~name:"mac string round-trip" ~count:300
          QCheck.(map (fun i -> Mac.of_int64 (Int64.of_int (abs i))) int)
          (fun m ->
@@ -196,13 +196,13 @@ let prefix_tests =
           (Prefix.compare (Prefix.v "10.0.0.0/8") (Prefix.v "10.0.0.0/16") < 0);
         Alcotest.(check bool) "by address" true
           (Prefix.compare (Prefix.v "9.0.0.0/8") (Prefix.v "10.0.0.0/8") < 0));
-    QCheck_alcotest.to_alcotest
+    Test_seed.to_alcotest
       (QCheck.Test.make ~name:"prefix string round-trip" ~count:500 arbitrary_prefix
          (fun p ->
            match Prefix.of_string (Prefix.to_string p) with
            | Ok p' -> Prefix.equal p p'
            | Error _ -> false));
-    QCheck_alcotest.to_alcotest
+    Test_seed.to_alcotest
       (QCheck.Test.make ~name:"network address is member" ~count:500 arbitrary_prefix
          (fun p -> Prefix.mem (Prefix.network p) p));
   ]
@@ -267,7 +267,7 @@ let lpm_tests =
           (Option.map snd (Lpm.lookup t (Ipv4.of_octets 200 0 0 1)));
         Alcotest.(check (option int)) "default" (Some 0)
           (Option.map snd (Lpm.lookup t (Ipv4.of_octets 1 0 0 1))));
-    QCheck_alcotest.to_alcotest
+    Test_seed.to_alcotest
       (QCheck.Test.make ~name:"lpm agrees with naive scan" ~count:200
          QCheck.(pair (small_list (pair arbitrary_prefix small_int)) (small_list arbitrary_ipv4))
          (fun (bindings, addrs) ->
@@ -290,7 +290,7 @@ let lpm_tests =
                | Some (p, v), Some (p', v') -> Prefix.equal p p' && v = v'
                | _ -> false)
              addrs));
-    QCheck_alcotest.to_alcotest
+    Test_seed.to_alcotest
       (QCheck.Test.make ~name:"insert then remove restores emptiness" ~count:200
          QCheck.(small_list arbitrary_prefix)
          (fun ps ->
@@ -388,7 +388,7 @@ let wire_tests =
         (* RFC 1071 example: 00 01 f2 03 f4 f5 f6 f7 -> checksum 0x220d. *)
         let data = "\x00\x01\xf2\x03\xf4\xf5\xf6\xf7" in
         Alcotest.(check int) "sum" 0x220d (Wire.internet_checksum data));
-    QCheck_alcotest.to_alcotest
+    Test_seed.to_alcotest
       (QCheck.Test.make ~name:"frame codec round-trip" ~count:300 arbitrary_frame
          (fun f ->
            match Wire.decode_frame (Wire.encode_frame f) with

@@ -56,7 +56,7 @@ let ring_tests =
         Alcotest.(check int) "total reset" 0 (Obs.Ring.total r);
         Obs.Ring.push r 9;
         Alcotest.(check (list int)) "usable after clear" [9] (Obs.Ring.to_list r));
-    QCheck_alcotest.to_alcotest
+    Test_seed.to_alcotest
       (QCheck.Test.make ~name:"capped ring = last [cap] pushes" ~count:300
          QCheck.(pair (1 -- 10) (list small_int))
          (fun (cap, xs) ->
@@ -131,7 +131,7 @@ let histogram_tests =
              Obs.Histogram.merge_into ~into:a b;
              false
            with Invalid_argument _ -> true));
-    QCheck_alcotest.to_alcotest
+    Test_seed.to_alcotest
       (QCheck.Test.make ~name:"percentiles are monotone and bounded" ~count:200
          QCheck.(list_of_size Gen.(1 -- 50) (float_bound_exclusive 100.0))
          (fun xs ->

@@ -132,7 +132,7 @@ let subsumes_tests =
         Flow_table.apply t
           (Flow_table.flow_mod Flow_table.Delete (Ofmatch.make ~nw_dst:(pfx "1.0.0.0/8") ()) []);
         Alcotest.(check int) "only the covered entry went" 1 (Flow_table.size t));
-    QCheck_alcotest.to_alcotest
+    Test_seed.to_alcotest
       (QCheck.Test.make ~name:"subsumption implies matching containment" ~count:300
          QCheck.(pair (pair (0 -- 4) (0 -- 4)) (0 -- 4))
          (fun ((a_idx, b_idx), f_idx) ->
@@ -250,7 +250,7 @@ let flow_table_tests =
         Flow_table.apply t (fm Flow_table.Add (Ofmatch.make ~in_port:2 ()) []);
         Flow_table.apply t (fm Flow_table.Delete Ofmatch.any []);
         Alcotest.(check int) "empty" 0 (Flow_table.size t));
-    QCheck_alcotest.to_alcotest
+    Test_seed.to_alcotest
       (QCheck.Test.make ~name:"bucketed table behaves like a naive reference" ~count:300
          (* Random flow-mod programs over a small universe of matches and
             priorities, then compare lookups against a straightforward
@@ -553,7 +553,7 @@ let codec_tests =
             (Message.Flow_mod (Flow_table.flow_mod Flow_table.Add Ofmatch.any []))
         in
         Alcotest.(check int) "length" (8 + 40 + 24) (String.length raw));
-    QCheck_alcotest.to_alcotest
+    Test_seed.to_alcotest
       (QCheck.Test.make ~name:"flow mod codec round-trip" ~count:200
          QCheck.(
            pair

@@ -1,0 +1,24 @@
+(* One seed for every property-based suite.
+
+   QCheck_alcotest would otherwise draw an implicit seed on first use;
+   routing every suite through this wrapper pins them all to
+   QCHECK_SEED (or to one drawn from system entropy) and prints it up
+   front, so any property-test failure in CI replays locally with
+   `QCHECK_SEED=<printed> dune exec test/test_main.exe`. *)
+
+let seed =
+  match Sys.getenv_opt "QCHECK_SEED" with
+  | Some s -> (
+    match int_of_string_opt s with
+    | Some n -> n
+    | None -> invalid_arg (Fmt.str "QCHECK_SEED=%S is not an integer" s))
+  | None ->
+    Random.self_init ();
+    Random.int 1_000_000_000
+
+let () = Fmt.epr "[qcheck] QCHECK_SEED=%d (export QCHECK_SEED to replay)@." seed
+
+(* Every property test draws from its own state seeded identically, so
+   adding or reordering suites never shifts another suite's stream. *)
+let to_alcotest test =
+  QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| seed |]) test

@@ -70,7 +70,7 @@ let heap_tests =
         Alcotest.(check int) "peek keeps" 2 (Sim.Heap.size h);
         Sim.Heap.clear h;
         Alcotest.(check (option int)) "cleared" None (Sim.Heap.pop h));
-    QCheck_alcotest.to_alcotest
+    Test_seed.to_alcotest
       (QCheck.Test.make ~name:"heap drains like List.sort" ~count:200
          QCheck.(list int)
          (fun xs ->
@@ -238,7 +238,7 @@ let engine_tests =
 
 let alignment_properties =
   [
-    QCheck_alcotest.to_alcotest
+    Test_seed.to_alcotest
       (QCheck.Test.make ~name:"next_multiple is the least multiple >= t" ~count:300
          QCheck.(pair (1 -- 100_000) (0 -- 10_000_000))
          (fun (grid_us, t_ns) ->
@@ -249,7 +249,7 @@ let alignment_properties =
            Sim.Time.(m >= t)
            && Int64.rem m_ns g = 0L
            && Sim.Time.(Sim.Time.sub m t < grid)));
-    QCheck_alcotest.to_alcotest
+    Test_seed.to_alcotest
       (QCheck.Test.make ~name:"prev_multiple is the greatest multiple <= t" ~count:300
          QCheck.(pair (1 -- 100_000) (0 -- 10_000_000))
          (fun (grid_us, t_ns) ->

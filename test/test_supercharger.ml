@@ -228,7 +228,7 @@ let algorithm_tests =
         Alcotest.(check int) "two" 2 (Supercharger.Algorithm.announced_count algo);
         ignore (withdraw ~peer_id:0 "1.0.0.0/24");
         Alcotest.(check int) "one" 1 (Supercharger.Algorithm.announced_count algo));
-    QCheck_alcotest.to_alcotest
+    Test_seed.to_alcotest
       (QCheck.Test.make ~name:"online algorithm agrees with offline recomputation"
          ~count:100
          QCheck.(small_list (pair (0 -- 2) (option (0 -- 2))))
@@ -320,6 +320,86 @@ let arp_responder_tests =
         in
         Alcotest.(check bool) "ignore" true
           (Supercharger.Arp_responder.handle groups reply = Supercharger.Arp_responder.Ignore));
+    Alcotest.test_case "floods for an unallocated address of the VNH pool" `Quick
+      (fun () ->
+        (* In-pool but never handed out: the responder must not claim
+           it, or the router would blackhole traffic on a ghost MAC. *)
+        let groups = make_groups () in
+        ignore
+          (Supercharger.Backup_group.find_or_create groups
+             [ip "10.0.0.2"; ip "10.0.0.3"]);
+        let req =
+          Net.Arp.request ~sender_mac:(mac "00:aa:00:00:00:01")
+            ~sender_ip:(ip "10.0.0.1") ~target_ip:(ip "10.199.0.250")
+        in
+        Alcotest.(check bool) "flood" true
+          (Supercharger.Arp_responder.handle groups req
+          = Supercharger.Arp_responder.Flood));
+    Alcotest.test_case "re-query after GC floods instead of replying stale" `Quick
+      (fun () ->
+        (* The controller destroys an idle group once its linger expires;
+           a router re-querying the dead VNH afterwards must get a flood
+           (nobody owns it), never the recycled VMAC. *)
+        let groups = make_groups () in
+        let b =
+          Supercharger.Backup_group.find_or_create groups
+            [ip "10.0.0.2"; ip "10.0.0.3"]
+        in
+        Supercharger.Backup_group.acquire groups b;
+        Supercharger.Backup_group.release groups b;
+        Alcotest.(check bool) "destroyed" true
+          (Supercharger.Backup_group.destroy groups b);
+        let req =
+          Net.Arp.request ~sender_mac:(mac "00:aa:00:00:00:01")
+            ~sender_ip:(ip "10.0.0.1") ~target_ip:b.vnh
+        in
+        Alcotest.(check bool) "flood after GC" true
+          (Supercharger.Arp_responder.handle groups req
+          = Supercharger.Arp_responder.Flood));
+    Alcotest.test_case "duplicate ARP for a recycled VNH binds the new group"
+      `Quick (fun () ->
+        (* Destroy a group, let a different next-hop set recycle its
+           (VNH, VMAC) pair, then ask twice: both replies must carry the
+           recycled VMAC and the registry must resolve the VNH to the
+           NEW membership — a stale binding here would send traffic to
+           the dead group's peers. *)
+        let groups = make_groups () in
+        let old =
+          Supercharger.Backup_group.find_or_create groups
+            [ip "10.0.0.2"; ip "10.0.0.3"]
+        in
+        Supercharger.Backup_group.acquire groups old;
+        Supercharger.Backup_group.release groups old;
+        Alcotest.(check bool) "destroyed" true
+          (Supercharger.Backup_group.destroy groups old);
+        let fresh =
+          Supercharger.Backup_group.find_or_create groups
+            [ip "10.0.0.4"; ip "10.0.0.5"]
+        in
+        Alcotest.(check string) "vnh recycled (FIFO)"
+          (Net.Ipv4.to_string old.vnh) (Net.Ipv4.to_string fresh.vnh);
+        Alcotest.(check string) "vmac recycled with it"
+          (Net.Mac.to_string old.vmac) (Net.Mac.to_string fresh.vmac);
+        let req =
+          Net.Arp.request ~sender_mac:(mac "00:aa:00:00:00:01")
+            ~sender_ip:(ip "10.0.0.1") ~target_ip:fresh.vnh
+        in
+        let answer () =
+          match Supercharger.Arp_responder.handle groups req with
+          | Supercharger.Arp_responder.Reply r ->
+            Net.Mac.to_string r.Net.Arp.sender_mac
+          | _ -> Alcotest.fail "expected a reply for the recycled VNH"
+        in
+        Alcotest.(check string) "first query" (Net.Mac.to_string fresh.vmac)
+          (answer ());
+        Alcotest.(check string) "duplicate query agrees"
+          (Net.Mac.to_string fresh.vmac) (answer ());
+        match Supercharger.Backup_group.find_by_vnh groups fresh.vnh with
+        | Some b ->
+          Alcotest.(check (list string)) "vnh resolves to the new members"
+            ["10.0.0.4"; "10.0.0.5"]
+            (List.map Net.Ipv4.to_string b.next_hops)
+        | None -> Alcotest.fail "recycled vnh unknown to the registry");
   ]
 
 let peer_info name port =
