@@ -211,6 +211,76 @@ let fig5_cmd =
   Cmd.v (Cmd.info "fig5" ~doc:"Reproduce Fig. 5 (convergence vs table size).")
     Term.(const run $ sizes_arg $ reps_arg $ flows_arg $ csv_arg $ json_arg)
 
+let check_cmd =
+  let schedules_arg =
+    Arg.(
+      value & opt int 50
+      & info ["schedules"] ~docv:"N" ~doc:"Random schedules to execute.")
+  in
+  let events_arg =
+    Arg.(value & opt int 30 & info ["events"] ~docv:"N" ~doc:"Events per schedule.")
+  in
+  let check_peers_arg =
+    Arg.(value & opt int 3 & info ["peers"] ~docv:"N" ~doc:"Upstream peers.")
+  in
+  let check_prefixes_arg =
+    Arg.(
+      value & opt int 12 & info ["prefixes"] ~docv:"N" ~doc:"Distinct prefixes.")
+  in
+  let no_chaos_arg =
+    Arg.(
+      value & flag
+      & info ["no-chaos"]
+          ~doc:"Disable fault-window events (blackouts, loss, duplicates).")
+  in
+  let mutate_arg =
+    Arg.(
+      value & flag
+      & info ["mutate"]
+          ~doc:
+            "Arm the deliberate Listing 2 bug (one skipped failover rewrite); the \
+             checker is expected to find and shrink a counterexample, and the exit \
+             status is inverted accordingly.")
+  in
+  let run schedules events n_peers n_prefixes no_chaos mutate seed =
+    Fmt.pr "check: %d schedules x %d events, %d peers, %d prefixes, seed=%Ld%s%s@."
+      schedules events n_peers n_prefixes seed
+      (if no_chaos then ", chaos off" else "")
+      (if mutate then ", MUTATED (skip one failover rewrite)" else "");
+    let t0 = Sys.time () in
+    let result =
+      Check.Run.run_matrix ~n_peers ~n_prefixes ~events ~chaos:(not no_chaos)
+        ~mutate
+        ~progress:(fun i ->
+          if i mod 25 = 0 && i > 0 then Fmt.epr "  ... %d/%d clean@." i schedules)
+        ~seed ~schedules ()
+    in
+    let dt = Sys.time () -. t0 in
+    match result, mutate with
+    | None, false ->
+      Fmt.pr "PASS: %d schedules, zero invariant violations (%.1fs)@." schedules dt;
+      exit 0
+    | None, true ->
+      Fmt.pr "FAIL: the armed mutation survived %d schedules undetected (%.1fs)@."
+        schedules dt;
+      exit 1
+    | Some f, false ->
+      Fmt.pr "FAIL (%.1fs):@.%a" dt Check.Run.pp_failure f;
+      exit 1
+    | Some f, true ->
+      Fmt.pr "PASS (%.1fs): mutation caught and shrunk to %d events@.%a" dt
+        (Check.Schedule.length f.Check.Run.shrunk)
+        Check.Run.pp_failure f;
+      exit 0
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Differential checker: random event schedules against the flat-FIB oracle.")
+    Term.(
+      const run $ schedules_arg $ events_arg $ check_peers_arg $ check_prefixes_arg
+      $ no_chaos_arg $ mutate_arg $ seed_arg)
+
 let () =
   let default = Term.(ret (const (`Help (`Pager, None)))) in
   exit
@@ -218,4 +288,4 @@ let () =
        (Cmd.group ~default
           (Cmd.info "sc_lab" ~version:"1.0.0"
              ~doc:"Supercharged-router convergence laboratory.")
-          [run_cmd; micro_cmd; fig5_cmd]))
+          [run_cmd; micro_cmd; fig5_cmd; check_cmd]))

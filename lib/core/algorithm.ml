@@ -136,6 +136,10 @@ let set_passthrough t rib on =
 
 let last_announced t prefix = Prefix_table.find_opt t.last_sent prefix
 
+let iter_announced t f = Prefix_table.iter f t.last_sent
+
+let group_of t prefix = Prefix_table.find_opt t.group_of prefix
+
 let announced_count t = Prefix_table.length t.last_sent
 
 let emissions_total t = t.emissions

@@ -56,6 +56,16 @@ val last_announced : t -> Net.Prefix.t -> Bgp.Attributes.t option
 (** What the router currently believes about a prefix (for tests and
     invariant checks). *)
 
+val iter_announced : t -> (Net.Prefix.t -> Bgp.Attributes.t -> unit) -> unit
+(** Visits every prefix currently announced to the router with the
+    attributes last sent for it (unspecified order). Introspection for
+    the differential checker. *)
+
+val group_of : t -> Net.Prefix.t -> Backup_group.binding option
+(** The backup-group binding the prefix's current announcement
+    references, if any — [Some] even in passthrough mode, where the
+    bookkeeping continues while real next hops are announced. *)
+
 val announced_count : t -> int
 (** Prefixes currently announced to the router. *)
 

@@ -5,6 +5,13 @@ module Ip_table = Hashtbl.Make (struct
   let hash = Net.Ipv4.hash
 end)
 
+module Prefix_tbl = Hashtbl.Make (struct
+  type t = Net.Prefix.t
+
+  let equal = Net.Prefix.equal
+  let hash = Net.Prefix.hash
+end)
+
 type upstream = {
   up_peer : Bgp.Speaker.peer;
   up_ip : Net.Ipv4.t;
@@ -56,6 +63,13 @@ type t = {
   mutable dataplane : Router.Endhost.t option;
   bfd_sessions : Bfd.Session.t Ip_table.t;
   mutable failed : Net.Ipv4.t list;
+  adj_rib_in : Bgp.Attributes.t Prefix_tbl.t Ip_table.t;
+      (* soft-reconfiguration inbound: each peer's current advertisements
+         (post-import-policy), maintained on every update whether the
+         peer is up or BFD-failed. The BGP session survives a data-plane
+         failure, so the peer never re-sends after one; this shadow is
+         the only way the slow path's RIB withdrawal can be undone on
+         recovery. *)
   mutable igp_cost_fn : (Net.Ipv4.t -> int) option;
   mutable failover_cb : (failed:Net.Ipv4.t -> flow_mods:int -> unit) option;
   mutable failovers : int;
@@ -66,6 +80,8 @@ type t = {
   mutable pending_acks : pending_ack list;
   mutable slow_path_waits : (Net.Ipv4.t * Sim.Engine.handle) list;
       (* debounced per-peer RIB withdrawals; cancelled by a flap's Up *)
+  mutable inflight_transitions : int;
+      (* reroute/repair callbacks scheduled but not yet run *)
   mutable probe_task : Sim.Engine.handle option;
   m_updates : Obs.Metrics.counter;
   m_updates_sent : Obs.Metrics.counter;
@@ -115,6 +131,7 @@ let create engine ~name ~asn ~router_id ?(group_size = 2)
     dataplane = None;
     bfd_sessions = Ip_table.create 8;
     failed = [];
+    adj_rib_in = Ip_table.create 4;
     igp_cost_fn = None;
     failover_cb = None;
     failovers = 0;
@@ -124,6 +141,7 @@ let create engine ~name ~asn ~router_id ?(group_size = 2)
     mode = Supercharged;
     pending_acks = [];
     slow_path_waits = [];
+    inflight_transitions = 0;
     probe_task = None;
     m_updates = Obs.Metrics.counter metrics "controller.updates_processed";
     m_updates_sent = Obs.Metrics.counter metrics "controller.updates_sent";
@@ -209,23 +227,6 @@ let peer_router_id (peer : Bgp.Speaker.peer) =
   | Some o -> o.Bgp.Message.router_id
   | None -> Net.Ipv4.any
 
-let handle_upstream_update t (up : upstream) update =
-  if not (List.exists (Net.Ipv4.equal up.up_ip) t.failed) then begin
-    t.updates_processed <- t.updates_processed + 1;
-    Obs.Metrics.incr t.m_updates;
-    let update = import_policy up update in
-    let igp_cost =
-      match t.igp_cost_fn, update.Bgp.Message.attrs with
-      | Some cost_of, Some attrs -> cost_of attrs.Bgp.Attributes.next_hop
-      | _ -> 0
-    in
-    let changes =
-      Bgp.Rib.apply_update t.rib ~peer_id:up.up_peer.id
-        ~peer_router_id:(peer_router_id up.up_peer) ~igp_cost update
-    in
-    relay_emissions t (Algorithm.process_changes t.algorithm changes)
-  end
-
 (* --- failure handling (Listing 2 + retry ladder + slow path) ----------- *)
 
 (* Bracket the failover's flow-mods with a barrier: the switch answers
@@ -259,16 +260,23 @@ and handle_ack_timeout t pa =
     trace t "%s: barrier %d unanswered (attempt %d/%d)" t.name pa.pa_xid
       pa.pa_attempt t.ack_max_retries;
     if pa.pa_attempt < t.ack_max_retries then begin
-      (* Re-issue the rewrites this barrier brackets. [reinstall_groups]
-         re-sends each rule pointing at its first alive member, so a
-         retry that crosses an already-applied flow-mod is harmless. *)
+      (* Re-issue the rewrites this barrier brackets. Every path is
+         idempotent, so a retry that crosses an already-applied flow-mod
+         is harmless. For a failover barrier the bracketed writes are
+         the failed peer's group re-points; for an install/uninstall
+         barrier (announcement-created rules, GC deletes) nothing
+         identifies the individual writes, so the retry resyncs the
+         whole table — otherwise a barrier retry that outlives the
+         blackout is answered while the swallowed flow-mods stay lost
+         for good. *)
+      Obs.Metrics.incr t.m_rule_retries;
       (match pa.pa_failed with
       | Some ip ->
-        Obs.Metrics.incr t.m_rule_retries;
         ignore
           (Provisioner.reinstall_groups (provisioner_exn t)
              (Backup_group.with_member t.groups ip))
-      | None -> ());
+      | None ->
+        ignore (Provisioner.resync (provisioner_exn t) (Backup_group.all t.groups)));
       send_tracked_barrier t ?failed:pa.pa_failed ?down_at:pa.pa_down_at
         ~attempt:(pa.pa_attempt + 1) ()
     end
@@ -306,11 +314,13 @@ and recover t =
       t.pending_acks;
     t.pending_acks <- [];
     (* Rules first, announcements second: the router must never tag
-       with a VMAC whose rule was eaten by the blackout. *)
-    let live =
-      List.filter (fun b -> Backup_group.refs b > 0) (Backup_group.all t.groups)
+       with a VMAC whose rule was eaten by the blackout. The resync
+       covers every registered group — not only the referenced ones,
+       since a linger-period rule must survive — and re-deletes retired
+       VMACs whose uninstall the blackout may have swallowed. *)
+    let reinstalled =
+      Provisioner.resync (provisioner_exn t) (Backup_group.all t.groups)
     in
-    let reinstalled = Provisioner.reinstall_groups (provisioner_exn t) live in
     relay_emissions t (Algorithm.set_passthrough t.algorithm t.rib false);
     trace t "%s: switch answering again; re-installed %d rules, supercharged mode"
       t.name reinstalled;
@@ -334,6 +344,102 @@ and handle_barrier_reply t xid =
     | None -> ());
     if t.mode = Degraded then recover t
 
+(* --- upstream update processing (decision process + Listing 1) -------- *)
+
+let flow_mods_now t =
+  match t.provisioner with Some p -> Provisioner.flow_mods_sent p | None -> 0
+
+(* Every batch of switch writes is bracketed by a tracked barrier: if the
+   switch (or the control channel) eats a flow-mod, the missing reply
+   climbs the retry ladder, degrades the controller and the recovery
+   resync repairs the table. Without this, a rule installed by a plain
+   announcement — no failover, hence no failover barrier — could vanish
+   silently. *)
+let with_install_barrier t f =
+  let before = flow_mods_now t in
+  let r = f () in
+  if flow_mods_now t > before then send_tracked_barrier t ~attempt:1 ();
+  r
+
+let adj_rib_of t ip =
+  match Ip_table.find_opt t.adj_rib_in ip with
+  | Some tbl -> tbl
+  | None ->
+    let tbl = Prefix_tbl.create 16 in
+    Ip_table.replace t.adj_rib_in ip tbl;
+    tbl
+
+let record_adj_rib_in t (up : upstream) (u : Bgp.Message.update) =
+  let adj = adj_rib_of t up.up_ip in
+  List.iter (fun p -> Prefix_tbl.remove adj p) u.Bgp.Message.withdrawn;
+  match u.Bgp.Message.attrs with
+  | Some attrs ->
+    List.iter (fun p -> Prefix_tbl.replace adj p attrs) u.Bgp.Message.nlri
+  | None -> ()
+
+let igp_cost_of t (attrs : Bgp.Attributes.t) =
+  match t.igp_cost_fn with
+  | Some cost_of -> cost_of attrs.Bgp.Attributes.next_hop
+  | None -> 0
+
+let handle_upstream_update t (up : upstream) update =
+  t.updates_processed <- t.updates_processed + 1;
+  Obs.Metrics.incr t.m_updates;
+  let update = import_policy up update in
+  record_adj_rib_in t up update;
+  if List.exists (Net.Ipv4.equal up.up_ip) t.failed then
+    (* BFD declared the peer down but its BGP session still delivered an
+       update (the session does not reset on a data-plane failure).
+       Applying it would route via a dead next hop; the Adj-RIB-In just
+       recorded it and the recovery resync will apply it. *)
+    ()
+  else begin
+    let igp_cost =
+      match update.Bgp.Message.attrs with
+      | Some attrs -> igp_cost_of t attrs
+      | None -> 0
+    in
+    let changes =
+      Bgp.Rib.apply_update t.rib ~peer_id:up.up_peer.id
+        ~peer_router_id:(peer_router_id up.up_peer) ~igp_cost update
+    in
+    with_install_barrier t (fun () ->
+        relay_emissions t (Algorithm.process_changes t.algorithm changes))
+  end
+
+(* Bring the RIB back in line with the peer's Adj-RIB-In after BFD saw
+   the peer again. The slow path withdrew the peer's routes (or a
+   debounced withdrawal was cancelled in time — then this is a no-op:
+   [Rib.announce] ignores identical re-announcements), and the session
+   never reset, so nothing else would ever re-send them. Equivalent to a
+   route-refresh against the stored inbound state. *)
+let resync_peer_routes t (up : upstream) =
+  let adj = adj_rib_of t up.up_ip in
+  let peer_id = up.up_peer.id in
+  let stale =
+    List.filter
+      (fun p -> not (Prefix_tbl.mem adj p))
+      (Bgp.Rib.peer_prefixes t.rib ~peer_id)
+  in
+  let withdrawals =
+    List.filter_map (fun p -> Bgp.Rib.withdraw t.rib p ~peer_id) stale
+  in
+  let announcements =
+    Prefix_tbl.fold
+      (fun prefix attrs acc ->
+        Bgp.Rib.apply_update t.rib ~peer_id
+          ~peer_router_id:(peer_router_id up.up_peer)
+          ~igp_cost:(igp_cost_of t attrs)
+          { Bgp.Message.withdrawn = []; attrs = Some attrs; nlri = [ prefix ] }
+        @ acc)
+      adj []
+  in
+  match withdrawals @ announcements with
+  | [] -> ()
+  | changes ->
+    with_install_barrier t (fun () ->
+        relay_emissions t (Algorithm.process_changes t.algorithm changes))
+
 (* The slow path is debounced: it only withdraws the peer's routes once
    the failure has persisted for [bfd_debounce]. A spurious BFD flap
    (Down immediately followed by Up) therefore costs two cheap rule
@@ -346,8 +452,9 @@ let run_slow_path t failed_ip =
       List.find_opt (fun up -> Net.Ipv4.equal up.up_ip failed_ip) t.upstreams
     with
     | Some up ->
-      relay_emissions t
-        (Algorithm.process_peer_down t.algorithm t.rib ~peer_id:up.up_peer.id)
+      with_install_barrier t (fun () ->
+          relay_emissions t
+            (Algorithm.process_peer_down t.algorithm t.rib ~peer_id:up.up_peer.id))
     | None -> ()
   else begin
     (* Recovered before the debounce fired without a cancellable wait:
@@ -362,8 +469,10 @@ let handle_peer_failure t failed_ip =
     t.failed <- failed_ip :: t.failed;
     let down_at = Sim.Engine.now t.engine in
     trace t "%s: peer %a failed; scheduling reroute" t.name Net.Ipv4.pp failed_ip;
+    t.inflight_transitions <- t.inflight_transitions + 1;
     ignore
       (Sim.Engine.schedule_after t.engine t.reroute_latency (fun () ->
+           t.inflight_transitions <- t.inflight_transitions - 1;
            (* Data-plane convergence first (Listing 2)... *)
            let flow_mods =
              Provisioner.fail_peer (provisioner_exn t) failed_ip
@@ -403,25 +512,36 @@ let handle_peer_recovery t revived_ip =
         revived_ip
     | None -> ());
     trace t "%s: peer %a recovered; scheduling repair" t.name Net.Ipv4.pp revived_ip;
+    t.inflight_transitions <- t.inflight_transitions + 1;
     ignore
       (Sim.Engine.schedule_after t.engine t.reroute_latency (fun () ->
+           t.inflight_transitions <- t.inflight_transitions - 1;
            let p = provisioner_exn t in
            Provisioner.revive_peer p revived_ip;
            (* Re-point every group whose preferred member is alive again
-              (the inverse of Listing 2). Route state follows separately:
-              the peer re-announces over BGP, as after any session
-              re-establishment. *)
-           List.iter
-             (fun binding ->
-               let preferred =
-                 List.find_opt (Provisioner.is_alive p) binding.Backup_group.next_hops
-               in
-               match preferred, Provisioner.selected p binding with
-               | Some want, Some got when not (Net.Ipv4.equal want got) ->
-                 Provisioner.install_group p binding
-               | Some _, None -> Provisioner.install_group p binding
-               | _ -> ())
-             (Backup_group.with_member t.groups revived_ip)))
+              (the inverse of Listing 2)... *)
+           with_install_barrier t (fun () ->
+               List.iter
+                 (fun binding ->
+                   let preferred =
+                     List.find_opt (Provisioner.is_alive p)
+                       binding.Backup_group.next_hops
+                   in
+                   match preferred, Provisioner.selected p binding with
+                   | Some want, Some got when not (Net.Ipv4.equal want got) ->
+                     Provisioner.install_group p binding
+                   | Some _, None -> Provisioner.install_group p binding
+                   | _ -> ())
+                 (Backup_group.with_member t.groups revived_ip));
+           (* ...then restore the peer's routes from its Adj-RIB-In —
+              rules first, announcements second. Covers both the routes
+              the slow path withdrew and any update the session
+              delivered while BFD had the peer down. *)
+           match
+             List.find_opt (fun up -> Net.Ipv4.equal up.up_ip revived_ip) t.upstreams
+           with
+           | Some up -> resync_peer_routes t up
+           | None -> ()))
   end
 
 (* --- switch interaction ------------------------------------------------ *)
@@ -534,6 +654,10 @@ let connect_switch ?(use_codec = false) ?faults t switch =
         (Sim.Engine.schedule_after t.engine t.group_linger (fun () ->
              if Backup_group.destroy t.groups binding then begin
                Provisioner.uninstall_group provisioner binding;
+               (* Track the delete like any other write: a blackout that
+                  eats it would otherwise leave the stale VMAC rule
+                  installed forever (resync re-deletes retired VMACs). *)
+               send_tracked_barrier t ~attempt:1 ();
                Obs.Metrics.set t.m_groups_live
                  (float_of_int (Backup_group.live_count t.groups));
                trace t "%s: collected idle group %a" t.name Backup_group.pp_binding
@@ -643,6 +767,12 @@ let provisioner t = provisioner_exn t
 let mode t = t.mode
 let degraded t = t.mode = Degraded
 let bfd_session t ip = Ip_table.find_opt t.bfd_sessions ip
+
+let quiescent t =
+  t.mode = Supercharged
+  && t.pending_acks = []
+  && t.slow_path_waits = []
+  && t.inflight_transitions = 0
 
 let set_igp_cost_fn t f = t.igp_cost_fn <- Some f
 

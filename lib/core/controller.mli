@@ -149,6 +149,17 @@ val mode : t -> mode
 val degraded : t -> bool
 (** [true] while the controller has fallen back to the legacy path. *)
 
+val quiescent : t -> bool
+(** [true] when the controller has no convergence work in flight: it is
+    supercharged (not degraded), every tracked barrier has been
+    answered, no debounced slow-path withdrawal is pending, and no
+    scheduled reroute/repair callback is waiting to run. This is the
+    public replacement for tests that used to sleep on tick counts; the
+    checker conjoins it with {!Openflow.Switch.idle} and per-peer BFD
+    state agreement to define a system-wide quiescent point (periodic
+    BFD/keepalive traffic never stops, so engine-queue emptiness is not
+    an option). *)
+
 val bfd_session : t -> Net.Ipv4.t -> Bfd.Session.t option
 (** The BFD session towards an upstream peer, if {!start} created one.
     Exposed so fault harnesses can inject spurious state transitions. *)

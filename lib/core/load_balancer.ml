@@ -87,25 +87,81 @@ let least_loaded t =
 
 let assignment t key = Hashtbl.find_opt t.assignments key
 
+let flow_match t key =
+  Openflow.Ofmatch.make ~dl_dst:t.vmac
+    ~nw_src:(Net.Prefix.make key.fk_src 32)
+    ~nw_dst:(Net.Prefix.make key.fk_dst 32)
+    ~nw_proto:17 ~tp_src:key.fk_src_port ~tp_dst:key.fk_dst_port ()
+
+let pin t key (target : Provisioner.peer_info) =
+  let ip = target.Provisioner.pi_ip in
+  Hashtbl.replace t.assignments key ip;
+  Ip_table.replace t.loads ip (load t ip + 1);
+  send_rule t
+    (Openflow.Flow_table.flow_mod ~priority:t.rule_priority Openflow.Flow_table.Add
+       (flow_match t key)
+       [
+         Openflow.Action.Set_dl_dst target.Provisioner.pi_mac;
+         Openflow.Action.Output target.Provisioner.pi_port;
+       ]);
+  ip
+
 let assign t key =
   match assignment t key with
   | Some ip -> ip
-  | None ->
-    let target = least_loaded t in
-    let ip = target.Provisioner.pi_ip in
-    Hashtbl.replace t.assignments key ip;
-    Ip_table.replace t.loads ip (load t ip + 1);
-    send_rule t
-      (Openflow.Flow_table.flow_mod ~priority:t.rule_priority Openflow.Flow_table.Add
-         (Openflow.Ofmatch.make ~dl_dst:t.vmac
-            ~nw_src:(Net.Prefix.make key.fk_src 32)
-            ~nw_dst:(Net.Prefix.make key.fk_dst 32)
-            ~nw_proto:17 ~tp_src:key.fk_src_port ~tp_dst:key.fk_dst_port ())
-         [
-           Openflow.Action.Set_dl_dst target.Provisioner.pi_mac;
-           Openflow.Action.Output target.Provisioner.pi_port;
-         ]);
-    ip
+  | None -> pin t key (least_loaded t)
+
+let remove_target t ip =
+  if List.exists (fun p -> Net.Ipv4.equal p.Provisioner.pi_ip ip) t.targets then begin
+    t.targets <-
+      List.filter (fun p -> not (Net.Ipv4.equal p.Provisioner.pi_ip ip)) t.targets;
+    Ip_table.remove t.loads ip;
+    let orphaned =
+      Hashtbl.fold
+        (fun key tgt acc -> if Net.Ipv4.equal tgt ip then key :: acc else acc)
+        t.assignments []
+    in
+    (* Deterministic reassignment order regardless of hash iteration. *)
+    let orphaned =
+      List.sort
+        (fun a b ->
+          compare
+            (Net.Ipv4.to_int32 a.fk_src, Net.Ipv4.to_int32 a.fk_dst, a.fk_src_port,
+             a.fk_dst_port)
+            (Net.Ipv4.to_int32 b.fk_src, Net.Ipv4.to_int32 b.fk_dst, b.fk_src_port,
+             b.fk_dst_port))
+        orphaned
+    in
+    match t.targets with
+    | [] ->
+      (* Nothing left to balance over: drop every pinned rule and the
+         default rule rather than keep forwarding into a dead port. *)
+      List.iter
+        (fun key ->
+          Hashtbl.remove t.assignments key;
+          send_rule t
+            (Openflow.Flow_table.flow_mod ~priority:t.rule_priority
+               Openflow.Flow_table.Delete_strict (flow_match t key) []))
+        orphaned;
+      send_rule t
+        (Openflow.Flow_table.flow_mod ~priority:(t.rule_priority - 1)
+           Openflow.Flow_table.Delete_strict
+           (Openflow.Ofmatch.dl_dst t.vmac)
+           [])
+    | first :: _ ->
+      (* Re-point the default rule away from the lost peer, then rebalance
+         each orphaned flow least-loaded-first (the Add overwrites the
+         flow's old rule in place — same match, same priority). *)
+      send_rule t
+        (Openflow.Flow_table.flow_mod ~priority:(t.rule_priority - 1)
+           Openflow.Flow_table.Add
+           (Openflow.Ofmatch.dl_dst t.vmac)
+           [
+             Openflow.Action.Set_dl_dst first.Provisioner.pi_mac;
+             Openflow.Action.Output first.Provisioner.pi_port;
+           ]);
+      List.iter (fun key -> ignore (pin t key (least_loaded t))) orphaned
+  end
 
 let imbalance t =
   let loads = List.map (fun p -> load t p.Provisioner.pi_ip) t.targets in

@@ -47,6 +47,13 @@ val assign : t -> flow_key -> Net.Ipv4.t
 
 val assignment : t -> flow_key -> Net.Ipv4.t option
 
+val remove_target : t -> Net.Ipv4.t -> unit
+(** Peer loss: deregisters the target, re-points the default rule at the
+    first surviving target and rebalances every flow pinned to the lost
+    peer least-loaded-first (each flow's rule is overwritten in place).
+    With no surviving target all balanced rules are deleted instead.
+    Unknown targets are a no-op. *)
+
 val load : t -> Net.Ipv4.t -> int
 (** Flows currently pinned to the target. *)
 

@@ -24,7 +24,12 @@ type t = {
   peers : peer_info Ip_table.t;
   dead : unit Ip_table.t;
   selected_by_vmac : Net.Ipv4.t Mac_table.t;
+  retired : unit Mac_table.t;
+      (* vmacs whose uninstall has been issued but that no later install
+         has reclaimed — resync re-deletes these in case the delete was
+         lost on an unresponsive control channel *)
   mutable flow_mods : int;
+  mutable mutate_skip_rewrite : bool;
   m_flow_mods : Obs.Metrics.counter;
 }
 
@@ -35,7 +40,9 @@ let create ?(rule_priority = 100) ?(metrics = Obs.Metrics.default) ~send () =
     peers = Ip_table.create 16;
     dead = Ip_table.create 4;
     selected_by_vmac = Mac_table.create 64;
+    retired = Mac_table.create 16;
     flow_mods = 0;
+    mutate_skip_rewrite = false;
     m_flow_mods = Obs.Metrics.counter metrics "provisioner.flow_mods";
   }
 
@@ -70,6 +77,9 @@ let install_group t (binding : Backup_group.binding) =
         invalid_arg
           (Fmt.str "Provisioner.install_group: peer %a not declared" Net.Ipv4.pp ip))
     binding.next_hops;
+  (* A recycled vmac that gets re-installed is no longer retired; the
+     Add overwrites whatever rule the (possibly lost) delete targeted. *)
+  Mac_table.remove t.retired binding.vmac;
   match first_alive t binding.next_hops with
   | Some ip -> (
     match peer t ip with
@@ -83,17 +93,23 @@ let install_group t (binding : Backup_group.binding) =
     Mac_table.remove t.selected_by_vmac binding.vmac;
     send_group_rule t binding None
 
-let uninstall_group t (binding : Backup_group.binding) =
-  Mac_table.remove t.selected_by_vmac binding.vmac;
+let send_vmac_delete t vmac =
   let fm =
     Openflow.Flow_table.flow_mod ~priority:t.rule_priority
       Openflow.Flow_table.Delete_strict
-      (Openflow.Ofmatch.dl_dst binding.Backup_group.vmac)
+      (Openflow.Ofmatch.dl_dst vmac)
       []
   in
   t.flow_mods <- t.flow_mods + 1;
   Obs.Metrics.incr t.m_flow_mods;
   t.send (Openflow.Message.Flow_mod fm)
+
+let uninstall_group t (binding : Backup_group.binding) =
+  Mac_table.remove t.selected_by_vmac binding.vmac;
+  Mac_table.replace t.retired binding.vmac ();
+  send_vmac_delete t binding.Backup_group.vmac
+
+let retired_vmacs t = Mac_table.fold (fun mac () acc -> mac :: acc) t.retired []
 
 let selected t (binding : Backup_group.binding) =
   Mac_table.find_opt t.selected_by_vmac binding.vmac
@@ -101,6 +117,7 @@ let selected t (binding : Backup_group.binding) =
 let fail_peer t failed_ip groups =
   Ip_table.replace t.dead failed_ip ();
   let before = t.flow_mods in
+  let skipped_one = ref false in
   List.iter
     (fun (binding : Backup_group.binding) ->
       let points_at_failed =
@@ -108,7 +125,9 @@ let fail_peer t failed_ip groups =
         | Some ip -> Net.Ipv4.equal ip failed_ip
         | None -> false
       in
-      if points_at_failed then install_group t binding)
+      if points_at_failed then
+        if t.mutate_skip_rewrite && not !skipped_one then skipped_one := true
+        else install_group t binding)
     groups;
   t.flow_mods - before
 
@@ -117,6 +136,17 @@ let reinstall_groups t groups =
   List.iter (fun binding -> install_group t binding) groups;
   t.flow_mods - before
 
+let resync t groups =
+  let before = t.flow_mods in
+  (* Deletes first: a retired vmac may since have been recycled into one
+     of [groups], and its re-install must win over the re-delete. *)
+  let retired = Mac_table.fold (fun mac () acc -> mac :: acc) t.retired [] in
+  List.iter (fun vmac -> send_vmac_delete t vmac) retired;
+  List.iter (fun binding -> install_group t binding) groups;
+  t.flow_mods - before
+
 let revive_peer t ip = Ip_table.remove t.dead ip
+
+let mutate_skip_rewrite t on = t.mutate_skip_rewrite <- on
 
 let flow_mods_sent t = t.flow_mods

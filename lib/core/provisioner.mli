@@ -61,9 +61,27 @@ val reinstall_groups : t -> Backup_group.binding list -> int
     flow-mods issued. The controller's retry and blackout-recovery
     paths are built on this. *)
 
+val resync : t -> Backup_group.binding list -> int
+(** Full-state reconciliation after a control-channel outage: re-issues
+    the strict delete for every {!retired_vmacs} entry (an uninstall the
+    outage may have eaten would otherwise leave a stale VMAC rule behind
+    forever), then reinstalls every supplied group. Deletes are sent
+    before installs so a recycled VMAC's fresh rule survives the sweep.
+    Returns the number of flow-mods issued. *)
+
+val retired_vmacs : t -> Net.Mac.t list
+(** VMACs whose uninstall has been issued and that no later install has
+    reclaimed — rules for these must not exist in a synced switch. *)
+
 val revive_peer : t -> Net.Ipv4.t -> unit
 (** Marks a peer alive again (groups are not automatically re-pointed;
     the control plane re-announces and reconverges instead, matching the
     paper's recovery story). *)
+
+val mutate_skip_rewrite : t -> bool -> unit
+(** Test-only fault switch for the checker's mutation smoke test: while
+    on, {!fail_peer} silently skips re-pointing the {e first} group whose
+    selected member failed — exactly the Listing 2 bug the differential
+    oracle must catch. Never enable outside tests. *)
 
 val flow_mods_sent : t -> int

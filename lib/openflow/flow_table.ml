@@ -194,14 +194,19 @@ let rec apply t fm =
 
 exception Found of entry
 
-let lookup t ctx =
-  t.lookups <- t.lookups + 1;
+let peek t ctx =
   match
     iter_buckets t (fun _ slot ->
         if Ofmatch.matches slot.entry.ofmatch ctx then raise_notrace (Found slot.entry))
   with
   | () -> None
-  | exception Found e ->
+  | exception Found e -> Some e
+
+let lookup t ctx =
+  t.lookups <- t.lookups + 1;
+  match peek t ctx with
+  | None -> None
+  | Some e ->
     e.packets <- e.packets + 1;
     Some e
 

@@ -46,6 +46,11 @@ val lookup : t -> Ofmatch.context -> entry option
 (** Highest-priority matching entry; among equal priorities, the one
     installed earliest. Increments the entry's packet counter. *)
 
+val peek : t -> Ofmatch.context -> entry option
+(** Same selection as {!lookup} but touches no counters — the probe the
+    differential checker uses to resolve a hypothetical packet without
+    perturbing switch statistics. *)
+
 val entries : t -> entry list
 (** Priority-descending (lookup) order. *)
 

@@ -115,6 +115,34 @@ let receive t ~port frame =
                  output t out_port rewritten)))
         all_ports
 
+type resolution =
+  | Forward of Net.Ethernet.frame * int list
+  | Punt
+  | Miss
+  | Blackhole
+
+let resolve t ~port frame =
+  check_port t port;
+  let ctx = { Ofmatch.arrival_port = port; frame } in
+  match Flow_table.peek t.table ctx with
+  | None -> Miss
+  | Some entry ->
+    let { Action.frame = rewritten; ports; flood; to_controller = punt } =
+      Action.apply entry.Flow_table.actions frame
+    in
+    if punt then Punt
+    else
+      let flood_ports =
+        if flood then
+          List.filter
+            (fun p -> p <> port && Option.is_some t.port_tx.(p))
+            (List.init (Array.length t.port_tx) Fun.id)
+        else []
+      in
+      (match ports @ flood_ports with
+      | [] -> Blackhole
+      | out -> Forward (rewritten, out))
+
 let attach_link t ~port link side =
   set_port_tx t ~port (fun frame -> Net.Link.send link side frame);
   Net.Link.attach link side (fun frame -> receive t ~port frame)
@@ -186,3 +214,5 @@ let packet_ins_sent t = t.packet_ins
 let pending_flow_mods t =
   List.length
     (List.filter (function Op_flow_mod _ -> true | Op_barrier _ -> false) t.control_queue)
+
+let idle t = (not t.updating) && t.control_queue = []

@@ -58,3 +58,21 @@ val packet_ins_sent : t -> int
 
 val pending_flow_mods : t -> int
 (** Depth of the serialized table-update queue. *)
+
+val idle : t -> bool
+(** [true] when the table-update engine is drained: no queued control
+    operation and none in flight. One conjunct of the system-wide
+    quiescence predicate (see {!Supercharger.Controller.quiescent}). *)
+
+type resolution =
+  | Forward of Net.Ethernet.frame * int list
+      (** rewritten frame and the egress ports it leaves on *)
+  | Punt  (** matched a rule whose action set punts to the controller *)
+  | Miss  (** no matching rule (would become a packet-in / drop) *)
+  | Blackhole  (** matched a rule with an empty action set *)
+
+val resolve : t -> port:int -> Net.Ethernet.frame -> resolution
+(** Side-effect-free single-packet resolution: runs the frame through
+    the flow table and action pipeline exactly as {!receive} would, but
+    touches no counters, schedules nothing and transmits nothing. This
+    is the probe the differential checker aims at the data plane. *)

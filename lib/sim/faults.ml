@@ -41,6 +41,8 @@ type t = {
   name : string;
   rng : Rng.t;
   mutable active : profile;
+  mutable base : profile;  (* restored when the last [during] window closes *)
+  mutable windows_open : int;
   mutable decisions : int;
   mutable dropped : int;
   mutable delayed : int;
@@ -58,6 +60,8 @@ let create engine ?(name = "faults") ~seed active =
     name;
     rng = Rng.create ~seed;
     active;
+    base = active;
+    windows_open = 0;
     decisions = 0;
     dropped = 0;
     delayed = 0;
@@ -71,21 +75,31 @@ let create engine ?(name = "faults") ~seed active =
 let trace t fmt =
   Trace.emitf (Engine.trace t.engine) (Engine.now t.engine) ~category:"faults" fmt
 
-let set_profile t p =
+let apply_profile t p =
   if p.label <> t.active.label then
     trace t "%s: profile %s -> %s" t.name t.active.label p.label;
   t.active <- p
 
+let set_profile t p =
+  t.base <- p;
+  if t.windows_open = 0 then apply_profile t p
+
 let active t = t.active
 
+(* Windows are counted, not stacked: overlapping windows each apply
+   their profile on open, and the base profile returns only when the
+   last one closes. Saving "the profile active at [from]" instead would
+   freeze an overlapping window's profile in place forever. *)
 let during t ~from ~until p =
   if Time.(until < from) then invalid_arg "Faults.during: until < from";
-  let saved = ref t.active in
   ignore
     (Engine.schedule_at t.engine from (fun () ->
-         saved := t.active;
-         set_profile t p));
-  ignore (Engine.schedule_at t.engine until (fun () -> set_profile t !saved))
+         t.windows_open <- t.windows_open + 1;
+         apply_profile t p));
+  ignore
+    (Engine.schedule_at t.engine until (fun () ->
+         t.windows_open <- t.windows_open - 1;
+         if t.windows_open = 0 then apply_profile t t.base))
 
 type verdict =
   | Drop

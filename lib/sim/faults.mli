@@ -68,10 +68,13 @@ val set_profile : t -> profile -> unit
 val active : t -> profile
 
 val during : t -> from:Time.t -> until:Time.t -> profile -> unit
-(** Schedules [profile] to be active on the window [[from, until)] and
-    the previously active profile to be restored at [until] — how a
-    scenario expresses "the control channel blacks out from 2 s to
-    4 s". *)
+(** Schedules [profile] to be active on the window [[from, until)] — how
+    a scenario expresses "the control channel blacks out from 2 s to
+    4 s". Windows are counted: overlapping windows each take effect when
+    they open, and the {!set_profile} base is restored only when the
+    {e last} open window closes (restoring "the profile active at
+    [from]" would freeze an overlapping window's profile in place
+    forever — a bug the differential checker found). *)
 
 type verdict =
   | Drop

@@ -1,0 +1,237 @@
+(* Systematic wire-codec properties, over the whole message space of
+   both binary codecs: every generated message must round-trip
+   faithfully, every strict prefix of an encoding must be rejected as
+   truncated, and corrupted bytes must never escape as an exception.
+   (Message-specific decode tests live in test_bgp.ml /
+   test_openflow.ml; these are the blanket properties.) *)
+
+let ip = Net.Ipv4.of_string_exn
+let asn = Bgp.Asn.of_int
+
+(* --- generators -------------------------------------------------------- *)
+
+let gen_ipv4 = QCheck.map (fun i -> Net.Ipv4.of_int32 (Int32.of_int i)) QCheck.int
+
+let gen_prefix =
+  QCheck.map
+    (fun (a, len) -> Net.Prefix.make (Net.Ipv4.of_int32 (Int32.of_int a)) len)
+    QCheck.(pair int (0 -- 32))
+
+let gen_mac =
+  QCheck.map
+    (fun i -> Net.Mac.of_int64 (Int64.of_int (abs i land 0xFFFF_FFFF_FFFF)))
+    QCheck.int
+
+let gen_attrs =
+  QCheck.map
+    (fun (((nh, origin), (seq, set)), ((med, lp), comms)) ->
+      Bgp.Attributes.make
+        ~origin:(List.nth [Bgp.Attributes.Igp; Bgp.Attributes.Egp; Bgp.Attributes.Incomplete] origin)
+        ~as_path:
+          ((if seq = [] then [] else [Bgp.Attributes.Seq (List.map (fun a -> asn (abs a mod 65536)) seq)])
+          @ if set = [] then [] else [Bgp.Attributes.Set (List.map (fun a -> asn (abs a mod 65536)) set)])
+        ?med:(Option.map (fun m -> abs m mod 10000) med)
+        ?local_pref:(Option.map (fun l -> abs l mod 10000) lp)
+        ~communities:(List.map (fun (a, b) -> (abs a mod 65536, abs b mod 65536)) comms)
+        ~next_hop:nh ())
+    QCheck.(
+      pair
+        (pair (pair gen_ipv4 (0 -- 2)) (pair (small_list int) (small_list int)))
+        (pair (pair (option int) (option int)) (small_list (pair int int))))
+
+(* All four BGP message kinds, weighted towards updates. *)
+let gen_bgp =
+  QCheck.map
+    (fun (kind, ((withdrawn, nlri), attrs), (a, b)) ->
+      match kind mod 6 with
+      | 0 ->
+        Bgp.Message.Open
+          { version = 4; asn = asn (abs a mod 65536); hold_time = abs b mod 65536;
+            router_id = Net.Ipv4.of_int32 (Int32.of_int (a * 31)) }
+      | 1 -> Bgp.Message.Keepalive
+      | 2 ->
+        Bgp.Message.Notification
+          { code = 1 + (abs a mod 6); subcode = abs b mod 256;
+            data = String.init (abs a mod 16) (fun i -> Char.chr (i * 17 mod 256)) }
+      | _ ->
+        if nlri = [] && withdrawn = [] then Bgp.Message.Keepalive
+        else if nlri = [] then Bgp.Message.withdraw withdrawn
+        else Bgp.Message.Update { withdrawn; attrs = Some attrs; nlri })
+    QCheck.(
+      triple (0 -- 5)
+        (pair (pair (small_list gen_prefix) (small_list gen_prefix)) gen_attrs)
+        (pair int int))
+
+let gen_frame =
+  QCheck.map
+    (fun ((src, dst), ((nw_src, nw_dst), (sport, dport))) ->
+      Net.Ethernet.make ~src ~dst
+        (Net.Ethernet.Ipv4
+           (Net.Ipv4_packet.udp ~src:nw_src ~dst:nw_dst
+              ~src_port:(abs sport mod 65536) ~dst_port:(abs dport mod 65536)
+              "payload")))
+    QCheck.(pair (pair gen_mac gen_mac) (pair (pair gen_ipv4 gen_ipv4) (pair int int)))
+
+let gen_ofmatch =
+  QCheck.map
+    (fun ((in_port, dl_dst), ((nw_dst, nw_proto), (tp_src, tp_dst))) ->
+      Openflow.Ofmatch.make ?in_port ?dl_dst
+        ?nw_dst:(Option.map (fun (a, l) -> Net.Prefix.make a l) nw_dst)
+        ?nw_proto ?tp_src ?tp_dst
+        ?dl_type:(if nw_dst <> None || nw_proto <> None then Some 0x0800 else None)
+        ())
+    QCheck.(
+      pair
+        (pair (option (0 -- 15)) (option gen_mac))
+        (pair
+           (pair (option (pair gen_ipv4 (0 -- 32))) (option (0 -- 255)))
+           (pair (option (0 -- 65535)) (option (0 -- 65535)))))
+
+let gen_actions =
+  QCheck.map
+    (fun picks ->
+      List.map
+        (function
+          | (0, p) -> Openflow.Action.Output (abs p mod 16)
+          | (1, _) -> Openflow.Action.Flood
+          | (2, _) -> Openflow.Action.To_controller
+          | (3, m) -> Openflow.Action.Set_dl_dst (Net.Mac.of_int64 (Int64.of_int (abs m land 0xFFFF_FFFF_FFFF)))
+          | (4, m) -> Openflow.Action.Set_dl_src (Net.Mac.of_int64 (Int64.of_int (abs m land 0xFFFF_FFFF_FFFF)))
+          | (5, a) -> Openflow.Action.Set_nw_dst (Net.Ipv4.of_int32 (Int32.of_int a))
+          | (_, a) -> Openflow.Action.Set_nw_src (Net.Ipv4.of_int32 (Int32.of_int a)))
+        picks)
+    QCheck.(small_list (pair (0 -- 6) int))
+
+let gen_of =
+  QCheck.map
+    (fun ((kind, xid), ((m, actions), frame)) ->
+      let xid = abs xid mod 0x10000 in
+      match kind mod 9 with
+      | 0 -> Openflow.Message.Hello
+      | 1 -> Openflow.Message.Echo_request xid
+      | 2 -> Openflow.Message.Echo_reply xid
+      | 3 -> Openflow.Message.Features_request
+      | 4 ->
+        Openflow.Message.Features_reply
+          { datapath_id = Int64.of_int xid; n_ports = 1 + (xid mod 48) }
+      | 5 ->
+        Openflow.Message.Flow_mod
+          (Openflow.Flow_table.flow_mod ~priority:(xid mod 65536)
+             ~cookie:(Int64.of_int xid)
+             (List.nth
+                [ Openflow.Flow_table.Add; Openflow.Flow_table.Modify;
+                  Openflow.Flow_table.Modify_strict; Openflow.Flow_table.Delete;
+                  Openflow.Flow_table.Delete_strict ]
+                (xid mod 5))
+             m actions)
+      | 6 -> Openflow.Message.Packet_in { in_port = xid mod 16; frame }
+      | 7 -> Openflow.Message.Packet_out { actions; frame }
+      | _ ->
+        if xid mod 2 = 0 then Openflow.Message.Barrier_request xid
+        else Openflow.Message.Barrier_reply xid)
+    QCheck.(pair (pair (0 -- 8) int) (pair (pair gen_ofmatch gen_actions) gen_frame))
+
+(* --- properties -------------------------------------------------------- *)
+
+(* Every strict prefix of a single encoded message must come back as an
+   error: the only Ok-compatible cut is the full length. *)
+let all_prefixes_rejected decode raw =
+  let ok = ref true in
+  for k = 0 to String.length raw - 1 do
+    match decode (String.sub raw 0 k) with
+    | Ok _ -> ok := false
+    | Error _ -> ()
+  done;
+  !ok
+
+(* Corruption must surface as [Error] (or decode to something), never as
+   an exception escaping the codec. *)
+let corruption_is_contained decode raw pos delta =
+  let b = Bytes.of_string raw in
+  let pos = pos mod Bytes.length b in
+  Bytes.set b pos (Char.chr ((Char.code (Bytes.get b pos) + 1 + (delta mod 255)) mod 256));
+  match decode (Bytes.to_string b) with Ok _ | Error _ -> true
+
+let bgp_encode msg =
+  try Some (Bgp.Codec.encode msg) with Invalid_argument _ -> None
+
+let bgp_tests =
+  [
+    Test_seed.to_alcotest
+      (QCheck.Test.make ~name:"bgp: any message round-trips" ~count:500 gen_bgp
+         (fun msg ->
+           match bgp_encode msg with
+           | None -> QCheck.assume_fail () (* oversized update *)
+           | Some raw -> (
+             match Bgp.Codec.decode_exact raw with
+             | Ok msg' -> Bgp.Message.equal msg msg'
+             | Error _ -> false)));
+    Test_seed.to_alcotest
+      (QCheck.Test.make ~name:"bgp: every truncation is rejected" ~count:100
+         gen_bgp (fun msg ->
+           match bgp_encode msg with
+           | None -> QCheck.assume_fail ()
+           | Some raw -> all_prefixes_rejected Bgp.Codec.decode raw));
+    Test_seed.to_alcotest
+      (QCheck.Test.make ~name:"bgp: corruption never raises" ~count:200
+         QCheck.(triple gen_bgp small_nat small_nat)
+         (fun (msg, pos, delta) ->
+           match bgp_encode msg with
+           | None -> QCheck.assume_fail ()
+           | Some raw -> corruption_is_contained Bgp.Codec.decode raw pos delta));
+    Alcotest.test_case "bgp: a chopped stream decodes up to the cut" `Quick
+      (fun () ->
+        let msgs =
+          [ Bgp.Message.Keepalive;
+            Bgp.Message.announce
+              (Bgp.Attributes.make ~as_path:[Bgp.Attributes.Seq [asn 65002]]
+                 ~next_hop:(ip "10.0.0.2") ())
+              [Net.Prefix.v "1.0.0.0/24"];
+            Bgp.Message.Keepalive ]
+        in
+        let stream = String.concat "" (List.map Bgp.Codec.encode msgs) in
+        (* Cut inside the last keepalive: decode_all must reject the
+           whole buffer rather than silently dropping the tail. *)
+        match Bgp.Codec.decode_all (String.sub stream 0 (String.length stream - 5)) with
+        | Error _ -> ()
+        | Ok _ -> Alcotest.fail "accepted a chopped stream");
+  ]
+
+let of_pp_equal a b =
+  String.equal
+    (Fmt.str "%a" Openflow.Message.pp a)
+    (Fmt.str "%a" Openflow.Message.pp b)
+
+let of_tests =
+  [
+    Test_seed.to_alcotest
+      (QCheck.Test.make ~name:"openflow: any message round-trips" ~count:500
+         gen_of (fun msg ->
+           let raw = Openflow.Codec.encode msg in
+           match Openflow.Codec.decode_exact raw with
+           | Ok msg' -> of_pp_equal msg msg'
+           | Error _ -> false));
+    Test_seed.to_alcotest
+      (QCheck.Test.make ~name:"openflow: every truncation is rejected" ~count:100
+         gen_of (fun msg ->
+           all_prefixes_rejected Openflow.Codec.decode (Openflow.Codec.encode msg)));
+    Test_seed.to_alcotest
+      (QCheck.Test.make ~name:"openflow: corruption never raises" ~count:200
+         QCheck.(triple gen_of small_nat small_nat)
+         (fun (msg, pos, delta) ->
+           corruption_is_contained Openflow.Codec.decode (Openflow.Codec.encode msg)
+             pos delta));
+    Alcotest.test_case "openflow: decode reports bytes consumed" `Quick (fun () ->
+        let raw =
+          Openflow.Codec.encode Openflow.Message.Hello
+          ^ Openflow.Codec.encode (Openflow.Message.Echo_request 9)
+        in
+        match Openflow.Codec.decode raw with
+        | Ok (Openflow.Message.Hello, used) ->
+          (match Openflow.Codec.decode (String.sub raw used (String.length raw - used)) with
+          | Ok (Openflow.Message.Echo_request 9, _) -> ()
+          | _ -> Alcotest.fail "second message lost")
+        | _ -> Alcotest.fail "first message lost");
+  ]
+
+let suite = [("codec.bgp", bgp_tests); ("codec.openflow", of_tests)]

@@ -18,6 +18,58 @@ type rig = {
   router_rx : Bgp.Message.update list ref;  (** newest first *)
 }
 
+let run_for rig s =
+  Sim.Engine.run
+    ~until:(Sim.Time.add (Sim.Engine.now rig.engine) (Sim.Time.of_sec s))
+    rig.engine
+
+(* Quiescence-driven settling, replacing the old fixed sleeps: advance
+   in 50 ms slices until the public predicate (controller quiescent +
+   switch table-update engine idle) holds and the activity snapshot has
+   been still for six consecutive slices. The 300 ms of enforced
+   stillness covers the windows the predicate alone cannot see — BFD
+   detection (3 x 40 ms) after a link cut, during which the controller
+   has no work in flight yet. Time-based waits remain only where a
+   timer must actually expire (the 5 s group linger). *)
+let settle ?(timeout = 30.0) rig =
+  let snapshot () =
+    ( Supercharger.Provisioner.flow_mods_sent
+        (Supercharger.Controller.provisioner rig.controller),
+      Openflow.Switch.flow_mods_applied rig.switch,
+      Supercharger.Algorithm.announced_count
+        (Supercharger.Controller.algorithm rig.controller),
+      Supercharger.Controller.failovers_handled rig.controller,
+      List.length !(rig.router_rx),
+      Array.to_list
+        (Array.map
+           (fun p ->
+             match
+               Supercharger.Controller.bfd_session rig.controller
+                 (Router.Peer.ip p)
+             with
+             | Some s -> Bfd.Session.state s = Bfd.Packet.Up
+             | None -> true)
+           rig.peers) )
+  in
+  let deadline =
+    Sim.Time.add (Sim.Engine.now rig.engine) (Sim.Time.of_sec timeout)
+  in
+  let rec loop stable last =
+    if Sim.Time.( >= ) (Sim.Engine.now rig.engine) deadline then
+      Alcotest.fail "no quiescence before the settle deadline"
+    else begin
+      run_for rig 0.05;
+      let snap = snapshot () in
+      if
+        Supercharger.Controller.quiescent rig.controller
+        && Openflow.Switch.idle rig.switch
+        && last = Some snap
+      then (if stable + 1 < 6 then loop (stable + 1) last)
+      else loop 0 (Some snap)
+    end
+  in
+  loop 0 None
+
 let make_rig ?(n_peers = 2) () =
   let engine = Sim.Engine.create ~seed:9L () in
   let switch = Openflow.Switch.create engine ~n_ports:(2 + n_peers) () in
@@ -89,8 +141,9 @@ let make_rig ?(n_peers = 2) () =
       | Bgp.Message.Keepalive | Bgp.Message.Notification _ -> ());
   Supercharger.Controller.start controller;
   Array.iter (fun p -> Bgp.Speaker.start (Router.Peer.speaker p)) peers;
-  Sim.Engine.run ~until:(Sim.Time.of_sec 1.0) engine;
-  { engine; switch; controller; peers; peer_links; router_rx }
+  let rig = { engine; switch; controller; peers; peer_links; router_rx } in
+  settle rig;
+  rig
 
 let announce rig peer_idx prefixes =
   let peer = rig.peers.(peer_idx) in
@@ -102,14 +155,7 @@ let announce rig peer_idx prefixes =
   Router.Peer.announce_to_all peer
     { Bgp.Message.withdrawn = []; attrs = Some attrs;
       nlri = List.map Net.Prefix.v prefixes };
-  Sim.Engine.run
-    ~until:(Sim.Time.add (Sim.Engine.now rig.engine) (Sim.Time.of_ms 100))
-    rig.engine
-
-let run_for rig s =
-  Sim.Engine.run
-    ~until:(Sim.Time.add (Sim.Engine.now rig.engine) (Sim.Time.of_sec s))
-    rig.engine
+  settle rig
 
 let vnh_of_last_announce rig =
   match !(rig.router_rx) with
@@ -137,7 +183,7 @@ let controller_tests =
              (Net.Ethernet.Arp
                 (Net.Arp.request ~sender_mac:(mac "00:aa:00:00:00:01")
                    ~sender_ip:(ip "10.0.0.1") ~target_ip:vnh)));
-        run_for rig 0.5;
+        settle rig;
         match !learned with
         | Some (sender_ip, sender_mac) ->
           Alcotest.(check bool) "vnh claimed" true (Net.Ipv4.equal sender_ip vnh);
@@ -169,7 +215,7 @@ let controller_tests =
              (Net.Ethernet.Arp
                 (Net.Arp.request ~sender_mac:(mac "00:aa:00:00:00:01")
                    ~sender_ip:(ip "10.0.0.1") ~target_ip:(ip "10.0.0.2"))));
-        run_for rig 0.5;
+        settle rig;
         Alcotest.(check bool) "peer replied" true !got_reply);
     Alcotest.test_case "reactive fallback forwards a racing VMAC packet" `Quick
       (fun () ->
@@ -196,7 +242,7 @@ let controller_tests =
              (Net.Ethernet.Ipv4
                 (Net.Ipv4_packet.udp ~src:(ip "192.168.0.100") ~dst:(ip "1.0.0.1")
                    ~src_port:1 ~dst_port:2 "x")));
-        run_for rig 0.5;
+        settle rig;
         Alcotest.(check int) "delivered via packet-out" 1 !delivered);
     Alcotest.test_case "failover rewrites at most #peers rules (S2 bound)" `Quick
       (fun () ->
@@ -212,7 +258,7 @@ let controller_tests =
         Supercharger.Controller.on_failover rig.controller (fun ~failed:_ ~flow_mods ->
             rewrites := Some flow_mods);
         Net.Link.set_up rig.peer_links.(0) false;
-        run_for rig 2.0;
+        settle rig;
         match !rewrites with
         | Some n ->
           Alcotest.(check bool) (Fmt.str "%d <= 4 peers" n) true (n <= 4);
@@ -231,26 +277,31 @@ let controller_tests =
         in
         (* Fail the primary; the group must point at the backup. *)
         Net.Link.set_up rig.peer_links.(0) false;
-        run_for rig 2.0;
+        settle rig;
         Alcotest.(check (option string)) "on backup" (Some "10.0.0.3")
           (Option.map Net.Ipv4.to_string (Supercharger.Provisioner.selected prov binding));
         (* Plug the cable back: BFD comes up, the group returns to the
-           primary, and a BGP re-announcement repopulates the RIB. *)
+           primary, and the controller restores the peer's routes from
+           its Adj-RIB-In — the session never reset, so the peer itself
+           stays silent (soft reconfiguration inbound). *)
         Net.Link.set_up rig.peer_links.(0) true;
-        run_for rig 2.0;
+        settle rig;
         Alcotest.(check (option string)) "back on primary" (Some "10.0.0.2")
           (Option.map Net.Ipv4.to_string (Supercharger.Provisioner.selected prov binding));
-        let before = List.length !(rig.router_rx) in
-        announce rig 0 ["1.0.0.0/24"];
-        run_for rig 1.0;
-        Alcotest.(check bool) "re-announcement relayed with the VNH" true
-          (List.length !(rig.router_rx) > before);
-        match !(rig.router_rx) with
-        | { Bgp.Message.attrs = Some attrs; _ } :: _ ->
-          Alcotest.(check bool) "vnh next hop" true
+        let algo = Supercharger.Controller.algorithm rig.controller in
+        (match Supercharger.Algorithm.last_announced algo (Net.Prefix.v "1.0.0.0/24") with
+        | Some attrs ->
+          Alcotest.(check bool) "restored announcement carries the VNH" true
             (Supercharger.Backup_group.find_by_vnh groups attrs.Bgp.Attributes.next_hop
             <> None)
-        | _ -> Alcotest.fail "no relayed update");
+        | None -> Alcotest.fail "route not restored from the Adj-RIB-In");
+        (* A peer re-sending the identical route after recovery must not
+           cause churn towards the router. *)
+        let before = List.length !(rig.router_rx) in
+        announce rig 0 ["1.0.0.0/24"];
+        settle rig;
+        Alcotest.(check int) "identical re-announcement is phantom churn" before
+          (List.length !(rig.router_rx)));
     Alcotest.test_case "withdraw storm converges to consistent state" `Quick
       (fun () ->
         let rig = make_rig () in
@@ -262,7 +313,7 @@ let controller_tests =
         Router.Peer.announce_to_all rig.peers.(1)
           { Bgp.Message.withdrawn = List.map Net.Prefix.v prefixes;
             attrs = None; nlri = [] };
-        run_for rig 0.5;
+        settle rig;
         let algo = Supercharger.Controller.algorithm rig.controller in
         List.iter
           (fun p ->
@@ -276,7 +327,7 @@ let controller_tests =
         Router.Peer.announce_to_all rig.peers.(0)
           { Bgp.Message.withdrawn = List.map Net.Prefix.v prefixes;
             attrs = None; nlri = [] };
-        run_for rig 0.5;
+        settle rig;
         Alcotest.(check int) "nothing announced" 0
           (Supercharger.Algorithm.announced_count algo));
     Alcotest.test_case "flap churn keeps online state = offline recomputation" `Quick
@@ -299,7 +350,7 @@ let controller_tests =
           (fun (ev : Workloads.Churn.event) ->
             Router.Peer.announce_to_all rig.peers.(1) ev.update)
           events;
-        run_for rig 1.0;
+        settle rig;
         let rib = Supercharger.Controller.rib rig.controller in
         let algo = Supercharger.Controller.algorithm rig.controller in
         let groups = Supercharger.Controller.groups rig.controller in
@@ -459,11 +510,11 @@ let controller_tests =
         Router.Peer.announce_to_all rig.peers.(1)
           { Bgp.Message.withdrawn = List.map Net.Prefix.v prefixes;
             attrs = None; nlri = [] };
-        run_for rig 0.5;
+        settle rig;
         Router.Peer.announce_to_all rig.peers.(0)
           { Bgp.Message.withdrawn = List.map Net.Prefix.v prefixes;
             attrs = None; nlri = [] };
-        run_for rig 0.5;
+        settle rig;
         match !(rig.router_rx) with
         | { Bgp.Message.withdrawn; attrs = None; nlri = [] } :: _ ->
           Alcotest.(check int) "all ten in one message" 10 (List.length withdrawn)
@@ -504,7 +555,7 @@ let controller_tests =
         Router.Peer.announce_to_all rig.peers.(2)
           { Bgp.Message.withdrawn = [Net.Prefix.v "2.0.0.0/24"];
             attrs = None; nlri = [] };
-        run_for rig 0.5;
+        settle rig;
         Alcotest.(check int) "idle group still registered"
           (baseline_groups + 1)
           (Supercharger.Backup_group.count groups);
@@ -531,6 +582,29 @@ let controller_tests =
           Alcotest.(check string) "vnh recycled" (Net.Ipv4.to_string churn_vnh)
             (Net.Ipv4.to_string b.vnh)
         | _ -> Alcotest.fail "expected the (p0, p2) group to be recreated");
+    Alcotest.test_case "quiescent tracks in-flight convergence work" `Quick
+      (fun () ->
+        let rig = make_rig () in
+        announce rig 0 ["1.0.0.0/24"];
+        announce rig 1 ["1.0.0.0/24"];
+        Alcotest.(check bool) "quiet at rest" true
+          (Supercharger.Controller.quiescent rig.controller);
+        (* Cut the primary: between BFD detection and the last barrier
+           ack (and through the debounced slow-path withdrawal) the
+           predicate must report work in flight. The busy window is
+           wider than the 10 ms polling grid, so polling cannot miss
+           it. *)
+        Net.Link.set_up rig.peer_links.(0) false;
+        let saw_busy = ref false in
+        for _ = 1 to 100 do
+          run_for rig 0.01;
+          if not (Supercharger.Controller.quiescent rig.controller) then
+            saw_busy := true
+        done;
+        Alcotest.(check bool) "busy during failover" true !saw_busy;
+        settle rig;
+        Alcotest.(check bool) "quiet again" true
+          (Supercharger.Controller.quiescent rig.controller));
   ]
 
 let suite = [("supercharger.controller", controller_tests)]

@@ -18,4 +18,7 @@ let () =
          Test_trafficgen.suite;
          Test_workloads.suite;
          Test_experiments.suite;
+         Test_core_units.suite;
+         Test_codecs.suite;
+         Test_check.suite;
        ])
