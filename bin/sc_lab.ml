@@ -281,6 +281,45 @@ let check_cmd =
       const run $ schedules_arg $ events_arg $ check_peers_arg $ check_prefixes_arg
       $ no_chaos_arg $ mutate_arg $ seed_arg)
 
+let lint_cmd =
+  let root_arg =
+    Arg.(
+      value & opt string "."
+      & info ["root"] ~docv:"DIR"
+          ~doc:"Project root containing lib/ and bin/ (default: cwd).")
+  in
+  let json_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info ["json"] ~docv:"FILE" ~doc:"Also write the report as JSON (schema lint/v1).")
+  in
+  let strict_arg =
+    Arg.(
+      value & flag
+      & info ["strict"]
+          ~doc:"Exit non-zero on warnings (e.g. missing-mli) too, not just errors.")
+  in
+  let run root json strict =
+    let report = Lint.Engine.scan_tree root in
+    Lint.Engine.pp_report Fmt.stdout report;
+    (match json with
+    | Some path ->
+      Obs.Json.to_file path (Lint.Engine.to_json report);
+      Fmt.pr "json written to %s@." path
+    | None -> ());
+    let errors = Lint.Engine.errors report in
+    let warnings = Lint.Engine.warnings report in
+    if errors > 0 || (strict && warnings > 0) then exit 1
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Static analysis enforcing the determinism & comparison discipline \
+          (no ambient RNG/clock, no polymorphic compare on net types, no \
+          hash-ordered output, no wildcard on closed event variants).")
+    Term.(const run $ root_arg $ json_arg $ strict_arg)
+
 let () =
   let default = Term.(ret (const (`Help (`Pager, None)))) in
   exit
@@ -288,4 +327,4 @@ let () =
        (Cmd.group ~default
           (Cmd.info "sc_lab" ~version:"1.0.0"
              ~doc:"Supercharged-router convergence laboratory.")
-          [run_cmd; micro_cmd; fig5_cmd; check_cmd]))
+          [run_cmd; micro_cmd; fig5_cmd; check_cmd; lint_cmd]))

@@ -318,11 +318,12 @@ let decode_update body =
            withdraw-only, matching lenient real-world parsers. *)
         Ok None
     in
-    if withdrawn = [] && nlri = [] && attrs = None then
+    match withdrawn, nlri, attrs with
+    | [], [], None ->
       (* End-of-RIB style empty update; represent as a pure withdraw of
          nothing is invalid in our model, so reject. *)
       Error (Wire.Malformed "empty UPDATE")
-    else Ok (Message.Update { withdrawn; attrs; nlri })
+    | _ -> Ok (Message.Update { withdrawn; attrs; nlri })
 
 let decode_notification body =
   let r = Wire.Reader.of_string body in

@@ -27,7 +27,9 @@ let update ?(withdrawn = []) ?attrs ?(nlri = []) () =
   (match attrs, nlri with
   | None, _ :: _ -> invalid_arg "Message.update: NLRI without attributes"
   | _ -> ());
-  if withdrawn = [] && nlri = [] then invalid_arg "Message.update: empty update";
+  (match withdrawn, nlri with
+  | [], [] -> invalid_arg "Message.update: empty update"
+  | _ -> ());
   Update { withdrawn; attrs; nlri }
 
 let announce attrs nlri = update ~attrs ~nlri ()

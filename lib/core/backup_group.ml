@@ -14,7 +14,11 @@ module Key = struct
   type t = Net.Ipv4.t list
 
   let equal = List.equal Net.Ipv4.equal
-  let hash key = Hashtbl.hash (List.map Net.Ipv4.to_int32 key)
+
+  (* Explicit structural hash: polymorphic Hashtbl.hash must not touch
+     abstract net types (determinism discipline, sc_lint). *)
+  let hash key =
+    List.fold_left (fun h ip -> (h * 31) + Net.Ipv4.hash ip) 17 key land max_int
 end
 
 module Key_table = Hashtbl.Make (Key)

@@ -78,7 +78,7 @@ let route t prefix target =
     | None ->
       invalid_arg (Fmt.str "Fib_cache.route: peer %a not declared" Net.Ipv4.pp nh)
     | Some info ->
-      let had = Net.Lpm.find_exact t.specifics prefix <> None in
+      let had = Option.is_some (Net.Lpm.find_exact t.specifics prefix) in
       Net.Lpm.insert t.specifics prefix nh;
       t.rules <- t.rules + 1;
       t.send
@@ -91,7 +91,7 @@ let route t prefix target =
               ]));
       if had then [] else bump_aggregate t (cover t prefix) 1)
   | None ->
-    if Net.Lpm.find_exact t.specifics prefix = None then []
+    if Option.is_none (Net.Lpm.find_exact t.specifics prefix) then []
     else begin
       Net.Lpm.remove t.specifics prefix;
       t.rules <- t.rules + 1;

@@ -122,16 +122,17 @@ let remove_target t ip =
         t.assignments []
     in
     (* Deterministic reassignment order regardless of hash iteration. *)
-    let orphaned =
-      List.sort
-        (fun a b ->
-          compare
-            (Net.Ipv4.to_int32 a.fk_src, Net.Ipv4.to_int32 a.fk_dst, a.fk_src_port,
-             a.fk_dst_port)
-            (Net.Ipv4.to_int32 b.fk_src, Net.Ipv4.to_int32 b.fk_dst, b.fk_src_port,
-             b.fk_dst_port))
-        orphaned
+    let compare_flow_key a b =
+      let c = Net.Ipv4.compare a.fk_src b.fk_src in
+      if c <> 0 then c
+      else
+        let c = Net.Ipv4.compare a.fk_dst b.fk_dst in
+        if c <> 0 then c
+        else
+          let c = Int.compare a.fk_src_port b.fk_src_port in
+          if c <> 0 then c else Int.compare a.fk_dst_port b.fk_dst_port
     in
+    let orphaned = List.sort compare_flow_key orphaned in
     match t.targets with
     | [] ->
       (* Nothing left to balance over: drop every pinned rule and the

@@ -1,3 +1,7 @@
+(* The wall_s column reports real host time per run; the wall-clock
+   reads are the measurement, not leaked ambient state. *)
+[@@@lint.allow "no-ambient-nondeterminism"]
+
 type row = {
   n_prefixes : int;
   mode : Topology.mode;

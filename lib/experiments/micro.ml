@@ -1,3 +1,7 @@
+(* This benchmark times the real host: wall-clock reads are its whole
+   point, not leaked ambient state. Nothing here feeds the simulation. *)
+[@@@lint.allow "no-ambient-nondeterminism"]
+
 type report = {
   updates : int;
   emissions : int;

@@ -6,6 +6,9 @@
    implementation paid on every session loss regardless of how few
    prefixes the peer carried. *)
 
+(* Wall-clock reads are the measurement here, not leaked ambient state. *)
+[@@@lint.allow "no-ambient-nondeterminism"]
+
 type row = {
   prefixes : int;
   peer_routes : int;  (* routes held by the failing minority peer *)

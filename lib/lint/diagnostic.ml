@@ -1,0 +1,46 @@
+type severity = Error | Warning
+
+type t = {
+  rule : string;
+  severity : severity;
+  file : string;
+  line : int;
+  col : int;
+  message : string;
+}
+
+let v ~rule ~severity ~file ~line ~col message =
+  { rule; severity; file; line; col; message }
+
+let severity_to_string = function Error -> "error" | Warning -> "warning"
+let pp_severity ppf s = Fmt.string ppf (severity_to_string s)
+
+let compare a b =
+  let c = String.compare a.file b.file in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.line b.line in
+    if c <> 0 then c
+    else
+      let c = Int.compare a.col b.col in
+      if c <> 0 then c
+      else
+        let c = String.compare a.rule b.rule in
+        if c <> 0 then c else String.compare a.message b.message
+
+let equal a b = compare a b = 0
+
+let pp ppf d =
+  Fmt.pf ppf "%s:%d:%d: %a [%s] %s" d.file d.line d.col pp_severity d.severity
+    d.rule d.message
+
+let to_json d =
+  Obs.Json.Obj
+    [
+      ("rule", Obs.Json.String d.rule);
+      ("severity", Obs.Json.String (severity_to_string d.severity));
+      ("file", Obs.Json.String d.file);
+      ("line", Obs.Json.Int d.line);
+      ("col", Obs.Json.Int d.col);
+      ("message", Obs.Json.String d.message);
+    ]

@@ -1,0 +1,31 @@
+(** A single lint finding.
+
+    Diagnostics are plain values: the engine produces them, the CLI
+    renders them. Ordering is total and deterministic (file, line,
+    column, rule, message) so reports are byte-stable across runs —
+    the same discipline the linter itself enforces on the tree. *)
+
+type severity = Error | Warning
+
+type t = {
+  rule : string;  (** rule identifier, e.g. ["no-polymorphic-compare"] *)
+  severity : severity;
+  file : string;  (** path relative to the scanned root *)
+  line : int;  (** 1-based *)
+  col : int;  (** 0-based, as in compiler locations *)
+  message : string;
+}
+
+val v :
+  rule:string -> severity:severity -> file:string -> line:int -> col:int ->
+  string -> t
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit
+(** [file:line:col: severity [rule] message] — one line, greppable. *)
+
+val pp_severity : Format.formatter -> severity -> unit
+val severity_to_string : severity -> string
+val to_json : t -> Obs.Json.t

@@ -1,0 +1,90 @@
+let rule_parse = "parse-error"
+let rule_mli = "missing-mli"
+
+let parse_error_diag ~file exn =
+  Diagnostic.v ~rule:rule_parse ~severity:Diagnostic.Error ~file ~line:1 ~col:0
+    (Fmt.str "could not parse: %s" (Printexc.to_string exn))
+
+let lint_source ~file src =
+  let lexbuf = Lexing.from_string src in
+  Lexing.set_filename lexbuf file;
+  match Parse.implementation lexbuf with
+  | structure -> Rules.run ~file structure
+  | exception exn -> [parse_error_diag ~file exn]
+
+let lint_file ?(root = ".") path =
+  let full = Filename.concat root path in
+  match Pparse.parse_implementation ~tool_name:"sc_lint" full with
+  | structure -> Rules.run ~file:path structure
+  | exception exn -> [parse_error_diag ~file:path exn]
+
+type report = { files : int; diagnostics : Diagnostic.t list }
+
+let count severity r =
+  List.length
+    (List.filter (fun d -> d.Diagnostic.severity = severity) r.diagnostics)
+
+let errors = count Diagnostic.Error
+let warnings = count Diagnostic.Warning
+
+(* Deterministic recursive listing: relative paths, '/' separators,
+   sorted at every level; _build and hidden entries skipped. *)
+let rec walk root rel acc =
+  let full = if rel = "" then root else Filename.concat root rel in
+  let base = Filename.basename full in
+  let hidden = rel <> "" && String.length base > 0 && base.[0] = '.' in
+  if not (Sys.file_exists full) then acc
+  else if Sys.is_directory full then
+    if base = "_build" || hidden then acc
+    else
+      Array.to_list (Sys.readdir full)
+      |> List.sort String.compare
+      |> List.fold_left
+           (fun acc entry ->
+             let rel = if rel = "" then entry else rel ^ "/" ^ entry in
+             walk root rel acc)
+           acc
+  else if Filename.check_suffix rel ".ml" then rel :: acc
+  else acc
+
+let ml_files root dirs =
+  List.concat_map (fun d -> List.rev (walk root d [])) dirs
+
+let missing_mli root files =
+  List.filter_map
+    (fun f ->
+      if
+        String.length f >= 4
+        && String.sub f 0 4 = "lib/"
+        && not (Sys.file_exists (Filename.concat root (Filename.remove_extension f ^ ".mli")))
+      then
+        Some
+          (Diagnostic.v ~rule:rule_mli ~severity:Diagnostic.Warning ~file:f
+             ~line:1 ~col:0
+             "module has no .mli; every lib/ module publishes an explicit \
+              interface")
+      else None)
+    files
+
+let scan_tree ?(dirs = ["lib"; "bin"]) root =
+  let files = ml_files root dirs in
+  let diagnostics =
+    List.concat_map (fun f -> lint_file ~root f) files @ missing_mli root files
+    |> List.sort Diagnostic.compare
+  in
+  { files = List.length files; diagnostics }
+
+let to_json r =
+  Obs.Json.Obj
+    [
+      ("schema", Obs.Json.String "lint/v1");
+      ("files", Obs.Json.Int r.files);
+      ("errors", Obs.Json.Int (errors r));
+      ("warnings", Obs.Json.Int (warnings r));
+      ("diagnostics", Obs.Json.List (List.map Diagnostic.to_json r.diagnostics));
+    ]
+
+let pp_report ppf r =
+  List.iter (fun d -> Fmt.pf ppf "%a@." Diagnostic.pp d) r.diagnostics;
+  Fmt.pf ppf "%d files linted: %d errors, %d warnings@." r.files (errors r)
+    (warnings r)

@@ -1,0 +1,37 @@
+(** Driving the lint pass: parsing, tree walking, reports.
+
+    Parsing uses the compiler's own front end ([Pparse] for on-disk
+    files, [Parse] for in-memory fixtures), so anything the compiler
+    accepts, the linter accepts — no new dependency and no second
+    grammar. Fixtures only need to parse, not typecheck. *)
+
+val lint_source : file:string -> string -> Diagnostic.t list
+(** [lint_source ~file src] lints an in-memory implementation. [file]
+    is the pretend path used for rule scoping (e.g.
+    ["lib/core/controller.ml"]). A syntax error yields a single
+    [parse-error] diagnostic rather than an exception. *)
+
+val lint_file : ?root:string -> string -> Diagnostic.t list
+(** [lint_file ?root path] lints [root]/[path] ([root] defaults to
+    ["."]). Diagnostics carry [path] as their file. *)
+
+type report = {
+  files : int;  (** implementation files linted *)
+  diagnostics : Diagnostic.t list;  (** sorted, suppressions removed *)
+}
+
+val errors : report -> int
+val warnings : report -> int
+
+val scan_tree : ?dirs:string list -> string -> report
+(** [scan_tree root] lints every [*.ml] under [root]/[dirs] (default
+    [["lib"; "bin"]], recursively, in sorted order) and additionally
+    reports a warning-level [missing-mli] diagnostic for any [lib/]
+    module without an interface file. *)
+
+val to_json : report -> Obs.Json.t
+(** Schema [lint/v1]: counts plus the sorted diagnostic list —
+    byte-stable across runs. *)
+
+val pp_report : Format.formatter -> report -> unit
+(** Every diagnostic, one per line, then a one-line summary. *)

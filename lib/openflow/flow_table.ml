@@ -46,7 +46,7 @@ module Strict_key = struct
   type t = int * Ofmatch.t
 
   let equal (pa, ma) (pb, mb) = pa = pb && Ofmatch.equal ma mb
-  let hash (p, m) = Hashtbl.hash (p, Hashtbl.hash m)
+  let hash (p, m) = ((p * 31) + Ofmatch.hash m) land max_int
 end
 
 module Strict_index = Hashtbl.Make (Strict_key)

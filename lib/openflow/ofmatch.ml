@@ -85,6 +85,21 @@ let equal a b =
   && Option.equal Int.equal a.tp_src b.tp_src
   && Option.equal Int.equal a.tp_dst b.tp_dst
 
+(* Explicit structural hash mirroring [equal]; polymorphic Hashtbl.hash
+   must not touch abstract net types (determinism discipline, sc_lint). *)
+let hash t =
+  let opt f = function Some v -> f v + 1 | None -> 0 in
+  List.fold_left
+    (fun h n -> (h * 31) + n)
+    17
+    [
+      opt Fun.id t.in_port; opt Net.Mac.hash t.dl_src;
+      opt Net.Mac.hash t.dl_dst; opt Fun.id t.dl_type;
+      opt Net.Prefix.hash t.nw_src; opt Net.Prefix.hash t.nw_dst;
+      opt Fun.id t.nw_proto; opt Fun.id t.tp_src; opt Fun.id t.tp_dst;
+    ]
+  land max_int
+
 let subsumes a b =
   let field eq fa fb =
     match fa, fb with

@@ -51,6 +51,10 @@ val matches : t -> context -> bool
 val equal : t -> t -> bool
 (** Structural equality — what OFPFC_ADD/STRICT commands compare. *)
 
+val hash : t -> int
+(** Explicit structural hash consistent with [equal]; deterministic
+    (no polymorphic [Hashtbl.hash] on abstract net types). *)
+
 val subsumes : t -> t -> bool
 (** [subsumes a b] iff every packet matched by [b] is matched by [a] —
     field-wise: [a] wildcards the field, or both pin it compatibly

@@ -1,0 +1,162 @@
+(* Tests for sc_lint: every rule fires on a minimal fixture, a clean
+   fixture fires nothing, [@lint.allow] suppresses, and the real tree
+   at HEAD lints clean (the meta-test CI relies on). Fixtures only
+   need to parse, not typecheck, so they stay tiny. *)
+
+let lint ?(file = "lib/fake/fixture.ml") src = Lint.Engine.lint_source ~file src
+
+let rules ds = List.map (fun d -> d.Lint.Diagnostic.rule) ds
+
+let check_rules msg expected ds =
+  Alcotest.(check (list string)) msg expected (rules ds)
+
+let rule_tests =
+  [
+    Alcotest.test_case "no-ambient-nondeterminism: Sys.time" `Quick (fun () ->
+        check_rules "flagged" ["no-ambient-nondeterminism"]
+          (lint "let t = Sys.time ()"));
+    Alcotest.test_case "no-ambient-nondeterminism: Random nested" `Quick
+      (fun () ->
+        check_rules "Random.State too" ["no-ambient-nondeterminism"]
+          (lint "let s = Random.State.make [| 3 |]"));
+    Alcotest.test_case "no-ambient-nondeterminism: only inside lib/" `Quick
+      (fun () ->
+        check_rules "bin/ may read the clock" []
+          (lint ~file:"bin/sc_lab.ml" "let t = Sys.time ()");
+        check_rules "Sim.Time itself is exempt" []
+          (lint ~file:"lib/sim/time.ml" "let t = Sys.time ()"));
+    Alcotest.test_case "no-polymorphic-compare: net-ish (=)" `Quick (fun () ->
+        check_rules "prefix = q" ["no-polymorphic-compare"]
+          (lint "let f prefix q = prefix = q"));
+    Alcotest.test_case "no-polymorphic-compare: bare compare" `Quick (fun () ->
+        check_rules "List.sort compare" ["no-polymorphic-compare"]
+          (lint "let f l = List.sort compare l"));
+    Alcotest.test_case "no-polymorphic-compare: local compare is fine" `Quick
+      (fun () ->
+        check_rules "file defines its own compare" []
+          (lint "let compare a b = Int.compare a b\nlet f l = List.sort compare l"));
+    Alcotest.test_case "no-polymorphic-compare: List.mem on net value" `Quick
+      (fun () ->
+        check_rules "List.mem prefix" ["no-polymorphic-compare"]
+          (lint "let f prefix l = List.mem prefix l"));
+    Alcotest.test_case "ordered-hashtbl-escape: fold into JSON" `Quick
+      (fun () ->
+        check_rules "unsorted fold feeds Json" ["ordered-hashtbl-escape"]
+          (lint
+             "let to_json t = Json.Obj (Hashtbl.fold (fun k v a -> (k, v) :: \
+              a) t [])"));
+    Alcotest.test_case "ordered-hashtbl-escape: sort launders the fold" `Quick
+      (fun () ->
+        check_rules "sorted fold is fine" []
+          (lint
+             "let to_json t = Json.List (List.sort String.compare \
+              (Hashtbl.fold (fun k _ a -> k :: a) t []))"));
+    Alcotest.test_case "no-catch-all-on-events: wildcard on OF messages"
+      `Quick (fun () ->
+        check_rules "wildcard swallows new events" ["no-catch-all-on-events"]
+          (lint "let f = function Packet_in p -> p | Hello -> 0 | _ -> 1"));
+    Alcotest.test_case "no-catch-all-on-events: open variants untouched"
+      `Quick (fun () ->
+        check_rules "Some/None matches keep their wildcard" []
+          (lint "let f = function Some _ -> 0 | _ -> 1"));
+    Alcotest.test_case "fast-path-purity: failwith in controller" `Quick
+      (fun () ->
+        check_rules "controller must degrade"
+          ["fast-path-purity"]
+          (lint ~file:"lib/core/controller.ml" "let g () = failwith \"boom\"");
+        check_rules "assert false too" ["fast-path-purity"]
+          (lint ~file:"lib/openflow/switch.ml" "let g () = assert false");
+        check_rules "other modules may raise" []
+          (lint "let g () = failwith \"boom\""));
+    Alcotest.test_case "clean fixture triggers nothing" `Quick (fun () ->
+        check_rules "disciplined code" []
+          (lint
+             "let f a b = Prefix.equal a b\n\
+              let keys t = List.sort String.compare (Hashtbl.fold (fun k _ a \
+              -> k :: a) t [])\n\
+              let g = function Packet_in p -> Some p | Hello -> None\n"));
+    Alcotest.test_case "parse error becomes a diagnostic" `Quick (fun () ->
+        check_rules "no exception" ["parse-error"] (lint "let let let"));
+  ]
+
+let suppression_tests =
+  [
+    Alcotest.test_case "expression-level allow" `Quick (fun () ->
+        check_rules "suppressed" []
+          (lint "let t = (Sys.time () [@lint.allow \"no-ambient-nondeterminism\"])"));
+    Alcotest.test_case "allow of the wrong rule does not suppress" `Quick
+      (fun () ->
+        check_rules "still flagged" ["no-ambient-nondeterminism"]
+          (lint "let t = (Sys.time () [@lint.allow \"fast-path-purity\"])"));
+    Alcotest.test_case "floating allow covers the rest of the file" `Quick
+      (fun () ->
+        check_rules "whole file suppressed" []
+          (lint
+             "[@@@lint.allow \"no-ambient-nondeterminism\"]\n\
+              let a = Sys.time ()\nlet b = Random.bits ()"));
+    Alcotest.test_case "malformed allow payload is itself flagged" `Quick
+      (fun () ->
+        check_rules "bad payload" ["no-ambient-nondeterminism"; "lint-allow"]
+          (lint "let t = (Sys.time () [@lint.allow 42])"));
+  ]
+
+let contains_sub ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  n = 0 || go 0
+
+(* Walk up from the dune sandbox to the checkout: the first ancestor
+   holding dune-project and lib/ that is not inside _build. *)
+let find_repo_root () =
+  let rec up dir n =
+    if n = 0 then None
+    else
+      let ok =
+        Sys.file_exists (Filename.concat dir "dune-project")
+        && Sys.file_exists (Filename.concat dir "lib")
+        && not (contains_sub ~sub:"_build" dir)
+      in
+      if ok then Some dir
+      else
+        let parent = Filename.dirname dir in
+        if parent = dir then None else up parent (n - 1)
+  in
+  up (Sys.getcwd ()) 8
+
+let meta_tests =
+  [
+    Alcotest.test_case "the real tree lints clean" `Quick (fun () ->
+        match find_repo_root () with
+        | None -> Printf.printf "repo root not reachable from cwd; skipping\n"
+        | Some root ->
+          let report = Lint.Engine.scan_tree root in
+          List.iter
+            (fun d -> Fmt.epr "%a@." Lint.Diagnostic.pp d)
+            report.Lint.Engine.diagnostics;
+          Alcotest.(check bool) "scanned a real tree" true
+            (report.Lint.Engine.files > 50);
+          Alcotest.(check int) "errors" 0 (Lint.Engine.errors report);
+          Alcotest.(check int) "warnings (missing-mli)" 0
+            (Lint.Engine.warnings report));
+    Alcotest.test_case "report is deterministic and ordered" `Quick (fun () ->
+        let src = "let a = Sys.time ()\nlet b = Random.bits ()" in
+        let once = lint src and twice = lint src in
+        Alcotest.(check bool) "same diagnostics" true
+          (List.equal Lint.Diagnostic.equal once twice);
+        let sorted = List.sort Lint.Diagnostic.compare once in
+        Alcotest.(check bool) "already sorted" true
+          (List.equal Lint.Diagnostic.equal once sorted));
+    Alcotest.test_case "json report shape" `Quick (fun () ->
+        let report = Lint.Engine.{ files = 1; diagnostics = lint "let t = Sys.time ()" } in
+        let s = Obs.Json.to_string (Lint.Engine.to_json report) in
+        Alcotest.(check bool) "schema tag" true (contains_sub ~sub:"lint/v1" s);
+        Alcotest.(check bool) "rule listed" true
+          (contains_sub ~sub:"no-ambient-nondeterminism" s));
+  ]
+
+let suite =
+  [
+    ("lint rules", rule_tests);
+    ("lint suppression", suppression_tests);
+    ("lint meta", meta_tests);
+  ]

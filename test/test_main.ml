@@ -21,4 +21,5 @@ let () =
          Test_core_units.suite;
          Test_codecs.suite;
          Test_check.suite;
+         Test_lint.suite;
        ])
