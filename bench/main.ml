@@ -8,6 +8,7 @@
      dune exec bench/main.exe -- groups       - the S2 backup-group count table
      dune exec bench/main.exe -- ablations    - BFD/flow-mod sweeps + replication
      dune exec bench/main.exe -- extensions   - FIB cache + load balancing (S1)
+     dune exec bench/main.exe -- dataplane    - LPM + forwarding throughput
      dune exec bench/main.exe -- ops          - Bechamel per-operation costs
      dune exec bench/main.exe -- all --quick  - reduced sizes (CI-friendly)
      dune exec bench/main.exe -- all --full   - 3 repetitions like the paper
@@ -215,6 +216,25 @@ let run_extensions () =
     (Supercharger.Load_balancer.imbalance lb)
 
 (* ------------------------------------------------------------------ *)
+(* Data-plane throughput: trie vs flat FIB, single vs batched.         *)
+
+let run_dataplane () =
+  section "Data plane - LPM lookups/sec and forwarding packets/sec";
+  let sizes = if quick then [10_000; 50_000] else [10_000; 100_000; 1_000_000] in
+  let lookups = if quick then 200_000 else 1_000_000 in
+  let fwd_packets = if quick then 50_000 else 200_000 in
+  Fmt.pr "table sizes: %a; %d lookups per structure; %d packets per path@.@."
+    Fmt.(list ~sep:comma int)
+    sizes lookups fwd_packets;
+  let report =
+    Experiments.Dataplane.run ~sizes ~lookups ~fwd_packets
+      ~progress:(fun msg -> Fmt.epr "  %s@." msg)
+      ()
+  in
+  Fmt.pr "%a@." Experiments.Dataplane.pp_report report;
+  record_json "dataplane" (Experiments.Dataplane.to_json report)
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel per-operation micro-benchmarks.                            *)
 
 let ops_tests () =
@@ -400,6 +420,7 @@ let () =
   if want "groups" then run_groups ();
   if want "ablations" then run_ablations ();
   if want "extensions" then run_extensions ();
+  if want "dataplane" then run_dataplane ();
   if want "ops" then run_ops ();
   (match json_file with
   | Some file ->

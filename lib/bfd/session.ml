@@ -134,7 +134,7 @@ let rec arm_detection t =
 
 let enable t =
   if t.state = Packet.Admin_down then set_state t Packet.Down Packet.No_diagnostic;
-  if t.tx_task = None then begin
+  if Option.is_none t.tx_task then begin
     transmit t ();
     schedule_tx t
   end

@@ -41,4 +41,4 @@ let feed t chunk =
 
 let buffered t = String.length t.pending
 
-let is_poisoned t = t.poison <> None
+let is_poisoned t = Option.is_some t.poison

@@ -127,7 +127,7 @@ let check_rules_settled s =
     (BG.all groups);
   List.iter
     (fun (mac, _) ->
-      if BG.find_by_vmac groups mac = None then
+      if Option.is_none (BG.find_by_vmac groups mac) then
         violations :=
           Fmt.str "stale VMAC rule %a survives quiescence" Net.Mac.pp mac
           :: !violations)
@@ -205,7 +205,7 @@ let check_forwarding s =
     covered;
   (* Pipeline -> oracle: nothing announced beyond the oracle's coverage. *)
   Algo.iter_announced algo (fun prefix _ ->
-      if Oracle.lookup s.oracle prefix = None then
+      if Option.is_none (Oracle.lookup s.oracle prefix) then
         violations :=
           Fmt.str "prefix %a announced but the oracle has no alive route"
             Net.Prefix.pp prefix

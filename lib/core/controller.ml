@@ -294,7 +294,7 @@ and enter_degraded t =
     Obs.Metrics.incr t.m_degradations;
     trace t "%s: switch unresponsive; degrading to the legacy path" t.name;
     relay_emissions t (Algorithm.set_passthrough t.algorithm t.rib true);
-    if t.probe_task = None then
+    if Option.is_none t.probe_task then
       t.probe_task <-
         Some
           (Sim.Engine.every t.engine ~interval:t.probe_interval (fun () ->

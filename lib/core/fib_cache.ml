@@ -19,7 +19,7 @@ type t = {
   vnh : Net.Ipv4.t;
   vmac : Net.Mac.t;
   peers : Provisioner.peer_info Ip_table.t;
-  specifics : Net.Ipv4.t Net.Lpm.t; (* prefix -> next hop, mirrors the rules *)
+  specifics : Net.Ipv4.t Net.Flat_fib.t; (* prefix -> next hop, mirrors the rules *)
   aggregate_refs : int Prefix_table.t; (* cover -> #specifics under it *)
   mutable rules : int;
 }
@@ -35,7 +35,7 @@ let create ?(aggregate_len = 8) ?(priority_base = 1000) ~allocator ~send () =
     vnh;
     vmac;
     peers = Ip_table.create 8;
-    specifics = Net.Lpm.create ();
+    specifics = Net.Flat_fib.create ();
     aggregate_refs = Prefix_table.create 64;
     rules = 0;
   }
@@ -78,22 +78,36 @@ let route t prefix target =
     | None ->
       invalid_arg (Fmt.str "Fib_cache.route: peer %a not declared" Net.Ipv4.pp nh)
     | Some info ->
-      let had = Option.is_some (Net.Lpm.find_exact t.specifics prefix) in
-      Net.Lpm.insert t.specifics prefix nh;
-      t.rules <- t.rules + 1;
-      t.send
-        (Openflow.Message.Flow_mod
-           (Openflow.Flow_table.flow_mod ~priority:(rule_priority t prefix)
-              Openflow.Flow_table.Add (rule_match t prefix)
-              [
-                Openflow.Action.Set_dl_dst info.Provisioner.pi_mac;
-                Openflow.Action.Output info.Provisioner.pi_port;
-              ]));
-      if had then [] else bump_aggregate t (cover t prefix) 1)
+      let previous = Net.Flat_fib.find_exact t.specifics prefix in
+      let unchanged =
+        match previous with Some old -> Net.Ipv4.equal old nh | None -> false
+      in
+      if unchanged then [] (* re-advertising the same hop needs no flow-mod *)
+      else begin
+        let had = Option.is_some previous in
+        Net.Flat_fib.insert t.specifics prefix nh;
+        t.rules <- t.rules + 1;
+        (* A re-route must modify the installed rule in place: a second
+           Add at the identical (priority, match) would leave the switch
+           free to keep serving the stale action. *)
+        let command =
+          if had then Openflow.Flow_table.Modify_strict
+          else Openflow.Flow_table.Add
+        in
+        t.send
+          (Openflow.Message.Flow_mod
+             (Openflow.Flow_table.flow_mod ~priority:(rule_priority t prefix)
+                command (rule_match t prefix)
+                [
+                  Openflow.Action.Set_dl_dst info.Provisioner.pi_mac;
+                  Openflow.Action.Output info.Provisioner.pi_port;
+                ]));
+        if had then [] else bump_aggregate t (cover t prefix) 1
+      end)
   | None ->
-    if Option.is_none (Net.Lpm.find_exact t.specifics prefix) then []
+    if Option.is_none (Net.Flat_fib.find_exact t.specifics prefix) then []
     else begin
-      Net.Lpm.remove t.specifics prefix;
+      Net.Flat_fib.remove t.specifics prefix;
       t.rules <- t.rules + 1;
       t.send
         (Openflow.Message.Flow_mod
@@ -102,9 +116,11 @@ let route t prefix target =
       bump_aggregate t (cover t prefix) (-1)
     end
 
-let resolve t addr = Option.map snd (Net.Lpm.lookup t.specifics addr)
+let resolve t addr = Net.Flat_fib.lookup_value t.specifics addr
 
-let specifics t = Net.Lpm.cardinal t.specifics
+let resolve_batch t addrs out = Net.Flat_fib.lookup_batch t.specifics addrs out
+
+let specifics t = Net.Flat_fib.cardinal t.specifics
 let aggregates t = Prefix_table.length t.aggregate_refs
 
 let compression_factor t =

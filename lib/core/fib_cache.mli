@@ -43,16 +43,25 @@ type emission =
   | Withdraw_aggregate of Net.Prefix.t
 
 val route : t -> Net.Prefix.t -> Net.Ipv4.t option -> emission list
-(** [route t prefix (Some nh)] binds the specific prefix to the peer
-    (installing/updating its switch rule); [None] removes it. Returns
-    the aggregate announcements/withdrawals the change implies for the
+(** [route t prefix (Some nh)] binds the specific prefix to the peer:
+    a fresh binding installs its switch rule with [Add], a re-route to
+    a different peer updates the installed rule with [Modify_strict],
+    and a re-route to the same peer is a no-op (no flow-mod, no
+    [rules_sent] tick). [None] removes the binding. Returns the
+    aggregate announcements/withdrawals the change implies for the
     router ([Announce_aggregate] when a cover gains its first specific,
     [Withdraw_aggregate] when it loses its last).
     @raise Invalid_argument for an undeclared peer. *)
 
 val resolve : t -> Net.Ipv4.t -> Net.Ipv4.t option
 (** The peer a destination currently resolves to (longest match over
-    the specifics) — what the switch rules implement; for tests. *)
+    the specifics) — what the switch rules implement. Zero-alloc flat
+    lookup, so also safe on per-packet paths. *)
+
+val resolve_batch : t -> Net.Ipv4.t array -> Net.Ipv4.t option array -> unit
+(** [resolve_batch t addrs out] resolves a burst in one pass, writing
+    [resolve t addrs.(i)] into [out.(i)].
+    @raise Invalid_argument if [out] is shorter than [addrs]. *)
 
 val specifics : t -> int
 (** Specific prefixes held in the switch. *)
@@ -64,3 +73,6 @@ val compression_factor : t -> float
 (** [specifics / aggregates]. *)
 
 val rules_sent : t -> int
+(** Flow-mods actually emitted (adds, in-place modifies, deletes).
+    Idempotent re-routes are not counted — the figure matches the
+    number of messages the switch really had to process. *)

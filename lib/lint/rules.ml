@@ -235,7 +235,7 @@ let check_catch_all t cases =
   | witness :: _ ->
     List.iter
       (fun c ->
-        if is_wildcard c.pc_lhs && c.pc_guard = None then
+        if is_wildcard c.pc_lhs && Option.is_none c.pc_guard then
           error t ~loc:c.pc_lhs.ppat_loc ~rule:rule_catch_all
             "unguarded `_` in a match over a closed event variant (saw %s); \
              enumerate the remaining constructors so new events force a review"
@@ -324,11 +324,25 @@ let check_ident t ~loc lid =
 
 let poly_eq_hint = "use the owning module's equal/compare, not structural (=)"
 
+(* The literal [None] as a comparison operand: [x = None] compares the
+   whole option structurally, silently recursing into the payload if it
+   is ever [Some] — the pattern that motivated the Fib_cache fix in
+   PR 5 and resurfaced in lib/net. *)
+let is_none_literal e =
+  match e.pexp_desc with
+  | Pexp_construct ({ txt = Longident.Lident "None"; _ }, None) -> true
+  | _ -> false
+
 let check_apply t e head args =
   match head.pexp_desc with
   | Pexp_ident { txt = Longident.Lident (("=" | "<>") as op); _ } ->
     let operands = List.filter_map (function Asttypes.Nolabel, a -> Some a | _ -> None) args in
-    if List.exists smells_net operands then
+    if List.exists is_none_literal operands then
+      error t ~loc:e.pexp_loc ~rule:rule_polycmp
+        "(%s) against None is a structural comparison over the payload; use \
+         Option.is_none/Option.is_some"
+        op
+    else if List.exists smells_net operands then
       error t ~loc:e.pexp_loc ~rule:rule_polycmp
         "(%s) on a value that looks like an abstract net/BGP type; %s" op
         poly_eq_hint

@@ -23,7 +23,7 @@ let insert t prefix v =
   let len = Prefix.length prefix in
   let rec walk node depth =
     if depth = len then begin
-      if node.value = None then t.cardinal <- t.cardinal + 1;
+      if Option.is_none node.value then t.cardinal <- t.cardinal + 1;
       node.value <- Some v
     end
     else begin
@@ -49,11 +49,12 @@ let remove t prefix =
   let rec walk node depth =
     (* Returns [true] when [node] became empty and can be detached. *)
     if depth = len then begin
-      if node.value <> None then begin
+      if Option.is_some node.value then begin
         t.cardinal <- t.cardinal - 1;
         node.value <- None
       end;
-      node.value = None && node.zero = None && node.one = None
+      Option.is_none node.value && Option.is_none node.zero
+      && Option.is_none node.one
     end
     else begin
       let bit = Ipv4.bit addr depth in
@@ -62,7 +63,8 @@ let remove t prefix =
       | Some c ->
         let prune = walk c (depth + 1) in
         if prune then set_child node bit None;
-        node.value = None && node.zero = None && node.one = None
+        Option.is_none node.value && Option.is_none node.zero
+        && Option.is_none node.one
     end
   in
   ignore (walk t.root 0)
@@ -87,6 +89,25 @@ let lookup t addr =
       | None -> best
     in
     if depth = 32 then best
+    else
+      match child node (Ipv4.bit addr depth) with
+      | None -> best
+      | Some c -> walk c (depth + 1) best
+  in
+  walk t.root 0 None
+
+(* Constrained longest-match: the replacement query the flat FIB needs
+   when a removal vacates expanded slots. Only prefixes whose length
+   falls in [lo, hi] are candidates, and the winner's length comes back
+   alongside the value so the caller can re-stamp the slot. *)
+let best_in_range t addr ~lo ~hi =
+  let rec walk node depth best =
+    let best =
+      if depth >= lo then
+        match node.value with Some v -> Some (depth, v) | None -> best
+      else best
+    in
+    if depth = hi then best
     else
       match child node (Ipv4.bit addr depth) with
       | None -> best

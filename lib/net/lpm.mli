@@ -1,9 +1,12 @@
 (** Longest-prefix-match table.
 
-    A mutable binary trie from IPv4 prefixes to values — the data
-    structure behind both the router FIB and the monitored-flow lookup in
-    the traffic sink. Inserting or removing is O(prefix length); lookup
-    is O(32). *)
+    A mutable binary trie from IPv4 prefixes to values. Inserting or
+    removing is O(prefix length); lookup is O(32) node hops and
+    allocates a tuple per hit. The forwarding hot paths now run on
+    {!Flat_fib} (a stride-compressed multibit table); this trie remains
+    the simple, obviously-correct reference — the qcheck oracle the flat
+    structure is checked against — and the bookkeeping structure inside
+    {!Flat_fib} itself. *)
 
 type 'a t
 
@@ -20,6 +23,11 @@ val find_exact : 'a t -> Prefix.t -> 'a option
 
 val lookup : 'a t -> Ipv4.t -> (Prefix.t * 'a) option
 (** Longest-prefix match for an address. *)
+
+val best_in_range : 'a t -> Ipv4.t -> lo:int -> hi:int -> (int * 'a) option
+(** Longest-prefix match restricted to prefixes whose length lies in
+    [\[lo, hi\]]; returns the winning length with the value. Used by
+    {!Flat_fib} to recompute expanded slots after a removal. *)
 
 val cardinal : 'a t -> int
 (** Number of bound prefixes. *)

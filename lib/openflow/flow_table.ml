@@ -210,6 +210,47 @@ let lookup t ctx =
     e.packets <- e.packets + 1;
     Some e
 
+(* Batched lookup: resolving the priority list and its hashtable
+   probes once per burst instead of once per packet. The snapshot is an
+   array of live buckets in descending-priority order; each packet then
+   scans plain arrays. *)
+let bucket_snapshot t =
+  Array.of_list
+    (List.filter_map (fun p -> Hashtbl.find_opt t.buckets p) t.priorities)
+
+let scan_snapshot snapshot ctx =
+  let nb = Array.length snapshot in
+  let rec go bi si =
+    if bi >= nb then None
+    else begin
+      let b = snapshot.(bi) in
+      if si >= b.len then go (bi + 1) 0
+      else begin
+        let slot = b.slots.(si) in
+        if slot.live && Ofmatch.matches slot.entry.ofmatch ctx then
+          Some slot.entry
+        else go bi (si + 1)
+      end
+    end
+  in
+  go 0 0
+
+let peek_batch t ctxs =
+  let snapshot = bucket_snapshot t in
+  Array.map (fun ctx -> scan_snapshot snapshot ctx) ctxs
+
+let lookup_batch t ctxs =
+  t.lookups <- t.lookups + Array.length ctxs;
+  let snapshot = bucket_snapshot t in
+  Array.map
+    (fun ctx ->
+      match scan_snapshot snapshot ctx with
+      | None -> None
+      | Some e ->
+        e.packets <- e.packets + 1;
+        Some e)
+    ctxs
+
 let entries t =
   let acc = ref [] in
   iter_buckets t (fun _ slot -> acc := slot.entry :: !acc);

@@ -51,6 +51,15 @@ val peek : t -> Ofmatch.context -> entry option
     differential checker uses to resolve a hypothetical packet without
     perturbing switch statistics. *)
 
+val lookup_batch : t -> Ofmatch.context array -> entry option array
+(** [lookup_batch t ctxs] is pointwise {!lookup} over the burst, with
+    the priority-bucket walk set up once for the whole batch and the
+    table-level counter bumped once by the batch size. Per-entry packet
+    counters advance exactly as under sequential {!lookup}. *)
+
+val peek_batch : t -> Ofmatch.context array -> entry option array
+(** Counter-free variant of {!lookup_batch}; pointwise {!peek}. *)
+
 val entries : t -> entry list
 (** Priority-descending (lookup) order. *)
 

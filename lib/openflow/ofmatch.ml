@@ -61,8 +61,9 @@ let matches t ctx =
   &&
   match ip_fields frame with
   | None ->
-    t.nw_src = None && t.nw_dst = None && t.nw_proto = None && t.tp_src = None
-    && t.tp_dst = None
+    Option.is_none t.nw_src && Option.is_none t.nw_dst
+    && Option.is_none t.nw_proto && Option.is_none t.tp_src
+    && Option.is_none t.tp_dst
   | Some (src, dst, proto, tp) ->
     field_ok (fun p -> Net.Prefix.mem src p) t.nw_src
     && field_ok (fun p -> Net.Prefix.mem dst p) t.nw_dst

@@ -77,22 +77,24 @@ let output t port frame =
 let send_to_controllers t msg =
   List.iter (fun f -> f msg) (List.rev t.controllers)
 
-let receive t ~port frame =
-  check_port t port;
-  let ctx = { Ofmatch.arrival_port = port; frame } in
-  match Flow_table.lookup t.table ctx with
+(* The match-and-action step shared by the single-packet and batched
+   receive paths. Control-plane side effects (packet-ins, drop/punt
+   accounting) happen immediately; the returned [(port, frame)] list is
+   what must leave the switch after [forward_latency]. *)
+let process_frame t ~port frame entry_opt =
+  match entry_opt with
   | None ->
     if t.controllers = [] then t.dropped <- t.dropped + 1
     else begin
       t.packet_ins <- t.packet_ins + 1;
       Obs.Metrics.incr t.m_packet_ins;
       send_to_controllers t (Message.Packet_in { in_port = port; frame })
-    end
+    end;
+    []
   | Some entry ->
     let { Action.frame = rewritten; ports; flood; to_controller = punt } =
       Action.apply entry.Flow_table.actions frame
     in
-
     if punt then begin
       t.packet_ins <- t.packet_ins + 1;
       Obs.Metrics.incr t.m_packet_ins;
@@ -106,14 +108,48 @@ let receive t ~port frame =
       else []
     in
     let all_ports = ports @ flood_ports in
-    if all_ports = [] && not punt then t.dropped <- t.dropped + 1
-    else
-      List.iter
-        (fun out_port ->
-          ignore
-            (Sim.Engine.schedule_after t.engine t.forward_latency (fun () ->
-                 output t out_port rewritten)))
-        all_ports
+    if all_ports = [] && not punt then begin
+      t.dropped <- t.dropped + 1;
+      []
+    end
+    else List.map (fun out_port -> (out_port, rewritten)) all_ports
+
+let receive t ~port frame =
+  check_port t port;
+  let ctx = { Ofmatch.arrival_port = port; frame } in
+  match process_frame t ~port frame (Flow_table.lookup t.table ctx) with
+  | [] -> ()
+  | outs ->
+    ignore
+      (Sim.Engine.schedule_after t.engine t.forward_latency (fun () ->
+           List.iter (fun (out_port, f) -> output t out_port f) outs))
+
+(* Batched data-plane input: one flow-table traversal setup
+   (Flow_table.lookup_batch) and one scheduled pipeline event for the
+   whole burst, instead of per-packet hashtable walks and per-packet
+   events. Outputs leave in arrival order at the same instant the
+   single-packet path would have emitted them. *)
+let receive_batch t ~port frames =
+  check_port t port;
+  if Array.length frames > 0 then begin
+    let ctxs =
+      Array.map (fun frame -> { Ofmatch.arrival_port = port; frame }) frames
+    in
+    let entries = Flow_table.lookup_batch t.table ctxs in
+    let outs = ref [] in
+    Array.iteri
+      (fun i entry_opt ->
+        match process_frame t ~port frames.(i) entry_opt with
+        | [] -> ()
+        | o -> outs := List.rev_append o !outs)
+      entries;
+    match List.rev !outs with
+    | [] -> ()
+    | outs ->
+      ignore
+        (Sim.Engine.schedule_after t.engine t.forward_latency (fun () ->
+             List.iter (fun (out_port, f) -> output t out_port f) outs))
+  end
 
 type resolution =
   | Forward of Net.Ethernet.frame * int list
@@ -121,10 +157,8 @@ type resolution =
   | Miss
   | Blackhole
 
-let resolve t ~port frame =
-  check_port t port;
-  let ctx = { Ofmatch.arrival_port = port; frame } in
-  match Flow_table.peek t.table ctx with
+let resolution_of t ~port frame entry_opt =
+  match entry_opt with
   | None -> Miss
   | Some entry ->
     let { Action.frame = rewritten; ports; flood; to_controller = punt } =
@@ -142,6 +176,19 @@ let resolve t ~port frame =
       (match ports @ flood_ports with
       | [] -> Blackhole
       | out -> Forward (rewritten, out))
+
+let resolve t ~port frame =
+  check_port t port;
+  let ctx = { Ofmatch.arrival_port = port; frame } in
+  resolution_of t ~port frame (Flow_table.peek t.table ctx)
+
+let resolve_batch t ~port frames =
+  check_port t port;
+  let ctxs =
+    Array.map (fun frame -> { Ofmatch.arrival_port = port; frame }) frames
+  in
+  let entries = Flow_table.peek_batch t.table ctxs in
+  Array.mapi (fun i entry_opt -> resolution_of t ~port frames.(i) entry_opt) entries
 
 let attach_link t ~port link side =
   set_port_tx t ~port (fun frame -> Net.Link.send link side frame);

@@ -34,6 +34,13 @@ val set_port_tx : t -> port:int -> (Net.Ethernet.frame -> unit) -> unit
 val receive : t -> port:int -> Net.Ethernet.frame -> unit
 (** Data-plane input. *)
 
+val receive_batch : t -> port:int -> Net.Ethernet.frame array -> unit
+(** Data-plane input for a burst arriving back to back on one port:
+    one flow-table traversal setup and one scheduled pipeline event for
+    the whole batch. Per-frame semantics (matching, counters,
+    packet-ins, output order and timing) are identical to calling
+    {!receive} on each frame in sequence. *)
+
 val attach_link : t -> port:int -> Net.Link.t -> Net.Link.side -> unit
 (** Wires [port] to one side of a link, in both directions. *)
 
@@ -76,3 +83,7 @@ val resolve : t -> port:int -> Net.Ethernet.frame -> resolution
     the flow table and action pipeline exactly as {!receive} would, but
     touches no counters, schedules nothing and transmits nothing. This
     is the probe the differential checker aims at the data plane. *)
+
+val resolve_batch : t -> port:int -> Net.Ethernet.frame array -> resolution array
+(** Pointwise {!resolve} over a burst, sharing one table-traversal
+    setup. Equally side-effect-free. *)

@@ -11,7 +11,7 @@ type t = {
   name : string;
   batch_start_latency : Sim.Time.t;
   per_entry_latency : Sim.Time.t;
-  table : Adjacency.t Net.Lpm.t;
+  table : Adjacency.t Net.Flat_fib.t;
   queue : op Queue.t;
   mutable busy : bool;
   mutable applied : int;
@@ -25,7 +25,7 @@ let create engine ?(name = "fib") ?(batch_start_latency = Sim.Time.of_ms 280)
     name;
     batch_start_latency;
     per_entry_latency;
-    table = Net.Lpm.create ();
+    table = Net.Flat_fib.create ();
     queue = Queue.create ();
     busy = false;
     applied = 0;
@@ -34,8 +34,8 @@ let create engine ?(name = "fib") ?(batch_start_latency = Sim.Time.of_ms 280)
 
 let apply t op =
   (match op with
-  | Set (prefix, adj) -> Net.Lpm.insert t.table prefix adj
-  | Remove prefix -> Net.Lpm.remove t.table prefix);
+  | Set (prefix, adj) -> Net.Flat_fib.insert t.table prefix adj
+  | Remove prefix -> Net.Flat_fib.remove t.table prefix);
   t.applied <- t.applied + 1;
   Sim.Trace.emitf (Sim.Engine.trace t.engine) (Sim.Engine.now t.engine)
     ~category:"fib" "%s: %a" t.name pp_op op;
@@ -72,16 +72,15 @@ let enqueue_batch t ops =
     List.iter (fun op -> Queue.add op t.queue) ops;
     kick t
 
-let lookup t addr =
-  match Net.Lpm.lookup t.table addr with
-  | Some (_prefix, adj) -> Some adj
-  | None -> None
+let lookup t addr = Net.Flat_fib.lookup_value t.table addr
+
+let lookup_batch t addrs out = Net.Flat_fib.lookup_batch t.table addrs out
 
 let on_applied t f = t.observer <- Some f
 
-let size t = Net.Lpm.cardinal t.table
+let size t = Net.Flat_fib.cardinal t.table
 let pending t = Queue.length t.queue
 let applied_count t = t.applied
 let is_busy t = t.busy
 
-let entries t = Net.Lpm.to_list t.table
+let entries t = Net.Flat_fib.to_list t.table

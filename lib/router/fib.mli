@@ -37,7 +37,13 @@ val enqueue_batch : t -> op list -> unit
 val lookup : t -> Net.Ipv4.t -> Adjacency.t option
 (** Longest-prefix match against the {e applied} table — pending queued
     updates are invisible to the data plane, which is exactly the
-    convergence gap being measured. *)
+    convergence gap being measured. Runs on {!Net.Flat_fib}, so the
+    per-packet cost is a few array reads and no allocation. *)
+
+val lookup_batch : t -> Net.Ipv4.t array -> Adjacency.t option array -> unit
+(** [lookup_batch t addrs out] resolves a burst in one pass, writing
+    [lookup t addrs.(i)] into [out.(i)].
+    @raise Invalid_argument if [out] is shorter than [addrs]. *)
 
 val on_applied : t -> (op -> unit) -> unit
 (** Observer invoked after each entry is written; the traffic monitor's

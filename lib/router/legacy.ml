@@ -189,22 +189,34 @@ let local_deliver t (p : Net.Ipv4_packet.t) =
     | None -> ())
   | Net.Ipv4_packet.Udp _ | Net.Ipv4_packet.Raw _ -> ()
 
-let forward t (p : Net.Ipv4_packet.t) =
+(* FIB lookup + TTL + L2 rewrite, shared by the single-packet and
+   batched paths; returns the egress interface and rewritten frame, or
+   None with the right counter bumped. *)
+let route_packet t (p : Net.Ipv4_packet.t) =
   match Fib.lookup t.fib p.dst with
-  | None -> t.no_route <- t.no_route + 1
+  | None ->
+    t.no_route <- t.no_route + 1;
+    None
   | Some adj -> (
     match Net.Ipv4_packet.decrement_ttl p with
-    | None -> t.ttl_expired <- t.ttl_expired + 1
+    | None ->
+      t.ttl_expired <- t.ttl_expired + 1;
+      None
     | Some p' ->
       t.forwarded <- t.forwarded + 1;
-      let out =
-        Net.Ethernet.make
-          ~src:t.interfaces.(adj.Adjacency.interface).mac
-          ~dst:adj.Adjacency.mac (Net.Ethernet.Ipv4 p')
-      in
-      ignore
-        (Sim.Engine.schedule_after t.engine t.forward_latency (fun () ->
-             transmit t adj.Adjacency.interface out)))
+      Some
+        ( adj.Adjacency.interface,
+          Net.Ethernet.make
+            ~src:t.interfaces.(adj.Adjacency.interface).mac
+            ~dst:adj.Adjacency.mac (Net.Ethernet.Ipv4 p') ))
+
+let forward t (p : Net.Ipv4_packet.t) =
+  match route_packet t p with
+  | None -> ()
+  | Some (interface, out) ->
+    ignore
+      (Sim.Engine.schedule_after t.engine t.forward_latency (fun () ->
+           transmit t interface out))
 
 let receive t ~interface (frame : Net.Ethernet.frame) =
   let iface = t.interfaces.(interface) in
@@ -227,6 +239,39 @@ let receive t ~interface (frame : Net.Ethernet.frame) =
         Array.exists (fun i -> Net.Ipv4.equal p.dst i.ip) t.interfaces
       in
       if is_local then local_deliver t p else forward t p
+
+(* Batched data-plane input: transit IPv4 frames take one pass over the
+   FIB and a single scheduled transmit event for the whole burst;
+   control traffic (ARP, local delivery) is rare and rides the
+   single-packet path unchanged. Egress order and timing match what
+   per-packet [receive] calls would have produced. *)
+let receive_batch t ~interface frames =
+  let iface = t.interfaces.(interface) in
+  let outs = ref [] in
+  Array.iter
+    (fun (frame : Net.Ethernet.frame) ->
+      let for_me =
+        Net.Mac.equal frame.dst iface.mac || Net.Mac.is_broadcast frame.dst
+      in
+      if for_me then
+        match frame.payload with
+        | Net.Ethernet.Arp _ -> receive t ~interface frame
+        | Net.Ethernet.Ipv4 p ->
+          let is_local =
+            Array.exists (fun i -> Net.Ipv4.equal p.dst i.ip) t.interfaces
+          in
+          if is_local then local_deliver t p
+          else (
+            match route_packet t p with
+            | None -> ()
+            | Some out -> outs := out :: !outs))
+    frames;
+  match List.rev !outs with
+  | [] -> ()
+  | outs ->
+    ignore
+      (Sim.Engine.schedule_after t.engine t.forward_latency (fun () ->
+           List.iter (fun (i, frame) -> transmit t i frame) outs))
 
 let connect_interface t index link side =
   t.interfaces.(index).tx <- Some (fun frame -> Net.Link.send link side frame);

@@ -81,6 +81,13 @@ val receive : t -> interface:int -> Net.Ethernet.frame -> unit
 (** Data-plane input (used by direct wiring and tests; links attached
     via {!connect_interface} call it automatically). *)
 
+val receive_batch : t -> interface:int -> Net.Ethernet.frame array -> unit
+(** Data-plane input for a burst arriving back to back on one
+    interface: transit IPv4 frames share one FIB pass and one scheduled
+    transmit event. Per-frame semantics (counters, egress order and
+    timing, ARP/local handling) are identical to calling {!receive} on
+    each frame in sequence. *)
+
 val on_peer_failure : t -> (Bgp.Speaker.peer -> unit) -> unit
 (** Observer for failure handling (BFD Down or BGP session loss), fired
     after the RIB withdrawal. *)

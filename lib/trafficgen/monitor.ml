@@ -79,7 +79,7 @@ let outages t index = List.rev t.gaps.(index)
 
 let send_now t index =
   t.probes <- t.probes + 1;
-  if t.first_send_since_delivery.(index) = None then
+  if Option.is_none t.first_send_since_delivery.(index) then
     t.first_send_since_delivery.(index) <- Some (Sim.Engine.now t.engine);
   Sim.Trace.emitf (Sim.Engine.trace t.engine) (Sim.Engine.now t.engine)
     ~category:"probe" "send flow#%d" index;

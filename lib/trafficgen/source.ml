@@ -11,7 +11,7 @@ let create engine ?(grid = Flow.grid_default) ~flows ~send () =
   { engine; grid; flows; send; task = None; sent = 0 }
 
 let start t =
-  if t.task = None then begin
+  if Option.is_none t.task then begin
     let first =
       Sim.Time.next_multiple ~grid:t.grid
         (Sim.Time.add (Sim.Engine.now t.engine) (Sim.Time.of_ns 1L))

@@ -14,11 +14,21 @@ let length_table =
     (19, 0.95); (18, 0.97); (17, 0.98); (16, 1.00);
   |]
 
-let sample_length rng =
+(* Denser mix for data-plane scale benchmarks: the long tail goes down
+   to /28 and stops at /18, averaging ~620 addresses per entry, so the
+   sequential allocator fits two million entries where the RIB-shaped
+   mix above exhausts the space around 600 k. *)
+let dense_length_table =
+  [|
+    (24, 0.50); (25, 0.62); (26, 0.72); (27, 0.78); (28, 0.82);
+    (23, 0.88); (22, 0.93); (21, 0.96); (20, 0.98); (19, 0.99); (18, 1.00);
+  |]
+
+let sample_length table rng =
   let x = Sim.Rng.float rng 1.0 in
   let rec pick i =
-    if i >= Array.length length_table - 1 then fst length_table.(i)
-    else if x < snd length_table.(i) then fst length_table.(i)
+    if i >= Array.length table - 1 then fst table.(i)
+    else if x < snd table.(i) then fst table.(i)
     else pick (i + 1)
   in
   pick 0
@@ -27,12 +37,11 @@ let sample_as_path rng =
   let len = 1 + Sim.Rng.int rng 5 in
   List.init len (fun _ -> Bgp.Asn.of_int (3000 + Sim.Rng.int rng 60000))
 
-let generate ~seed ~count =
-  if count < 0 || count > 600_000 then invalid_arg "Rib_gen.generate: count";
+let generate_with ~table ~seed ~count =
   let rng = Sim.Rng.create ~seed in
   let cursor = ref (Int64.of_int (Net.Ipv4.diff (Net.Ipv4.of_octets 1 0 0 0) Net.Ipv4.any)) in
   Array.init count (fun _ ->
-      let len = sample_length rng in
+      let len = sample_length table rng in
       let size = Int64.of_int (1 lsl (32 - len)) in
       (* Align the cursor up to the prefix's natural boundary. *)
       let aligned =
@@ -45,6 +54,15 @@ let generate ~seed ~count =
       let prefix = Net.Prefix.make (Net.Ipv4.of_int32 (Int64.to_int32 aligned)) len in
       let med = if Sim.Rng.int rng 10 = 0 then Some (Sim.Rng.int rng 100) else None in
       { prefix; as_path = sample_as_path rng; med })
+
+let generate ~seed ~count =
+  if count < 0 || count > 600_000 then invalid_arg "Rib_gen.generate: count";
+  generate_with ~table:length_table ~seed ~count
+
+let generate_dense ~seed ~count =
+  if count < 0 || count > 2_000_000 then
+    invalid_arg "Rib_gen.generate_dense: count";
+  generate_with ~table:dense_length_table ~seed ~count
 
 let to_updates entries ~speaker_asn ~next_hop =
   Array.fold_right

@@ -18,6 +18,13 @@ val generate : seed:int64 -> count:int -> entry array
 (** [count] unique entries. @raise Invalid_argument beyond 600 k entries
     (the sequential allocator would wrap the 32-bit address space). *)
 
+val generate_dense : seed:int64 -> count:int -> entry array
+(** Like {!generate}, but with a denser prefix-length mix (tail down to
+    /28, nothing shorter than /18) so the sequential allocator fits up
+    to 2 M unique entries — the scale the data-plane benchmarks drive
+    lookup structures to, beyond what the RIB-shaped mix can reach.
+    @raise Invalid_argument beyond 2 M entries. *)
+
 val to_updates :
   entry array ->
   speaker_asn:Bgp.Asn.t ->

@@ -80,6 +80,40 @@ let fib_tests =
         Alcotest.(check (option (testable Net.Ipv4.pp Net.Ipv4.equal)))
           "new owner" (Some (peer_ip 1))
           (Fib_cache.resolve fib (ip "1.2.3.4")));
+    Alcotest.test_case "re-route is a Modify_strict, same next hop is silent"
+      `Quick (fun () ->
+        let fib, sent = make_fib () in
+        let commands () =
+          (* oldest first *)
+          List.rev_map
+            (function
+              | Openflow.Message.Flow_mod fm -> fm.Openflow.Flow_table.command
+              | _ -> Alcotest.fail "expected only flow mods")
+            !sent
+        in
+        ignore (Fib_cache.route fib (pfx "1.2.3.0/24") (Some (peer_ip 0)));
+        Alcotest.(check int) "fresh route is one Add" 1 (List.length !sent);
+        (* Re-announcing the same next hop must not disturb the switch:
+           the rule already forwards correctly. *)
+        ignore (Fib_cache.route fib (pfx "1.2.3.0/24") (Some (peer_ip 0)));
+        Alcotest.(check int) "same next hop sends nothing" 1 (List.length !sent);
+        Alcotest.(check int) "and is not counted" 1 (Fib_cache.rules_sent fib);
+        (* A genuine re-route updates the installed rule in place. *)
+        ignore (Fib_cache.route fib (pfx "1.2.3.0/24") (Some (peer_ip 1)));
+        (match commands () with
+        | [Openflow.Flow_table.Add; Openflow.Flow_table.Modify_strict] -> ()
+        | _ -> Alcotest.fail "expected Add then Modify_strict");
+        Alcotest.(check int) "two rules really sent" 2 (Fib_cache.rules_sent fib);
+        match List.hd !sent with
+        | Openflow.Message.Flow_mod fm ->
+          let out =
+            List.find_map
+              (function Openflow.Action.Output p -> Some p | _ -> None)
+              fm.Openflow.Flow_table.fm_actions
+          in
+          Alcotest.(check (option int)) "modify points at the new peer"
+            (Some (peer 1).Provisioner.pi_port) out
+        | _ -> Alcotest.fail "expected a flow mod");
     Alcotest.test_case "undeclared peer is rejected" `Quick (fun () ->
         let fib, _ = make_fib ~n_peers:1 () in
         Alcotest.(check bool) "raises" true
@@ -99,8 +133,24 @@ let fib_tests =
         Alcotest.(check int) "one router entry" 1 (Fib_cache.aggregates fib);
         Alcotest.(check (float 1e-9)) "16x compression" 16.0
           (Fib_cache.compression_factor fib);
-        Alcotest.(check bool) "a rule per specific reached the switch" true
-          (Fib_cache.rules_sent fib >= 16 && List.length !sent >= 16));
+        (* rules_sent must equal the flow mods the switch really had to
+           process: exactly one per specific, no double counting. *)
+        Alcotest.(check int) "one rule per specific" 16 (Fib_cache.rules_sent fib);
+        Alcotest.(check int) "counter matches the wire" (List.length !sent)
+          (Fib_cache.rules_sent fib);
+        (* Refreshing every route with its current next hop is free... *)
+        for i = 0 to 15 do
+          ignore
+            (Fib_cache.route fib
+               (pfx (Fmt.str "7.%d.0.0/16" i))
+               (Some (peer_ip (i mod 3))))
+        done;
+        Alcotest.(check int) "refresh sends nothing" 16 (Fib_cache.rules_sent fib);
+        (* ...while one genuine re-route costs exactly one flow mod. *)
+        ignore (Fib_cache.route fib (pfx "7.0.0.0/16") (Some (peer_ip 1)));
+        Alcotest.(check int) "re-route costs one" 17 (Fib_cache.rules_sent fib);
+        Alcotest.(check int) "still matches the wire" (List.length !sent)
+          (Fib_cache.rules_sent fib));
     Test_seed.to_alcotest
       (QCheck.Test.make ~name:"fib cache == naive LPM reference" ~count:200
          QCheck.(small_list (pair (pair (0 -- 7) (0 -- 2)) (option (0 -- 2))))

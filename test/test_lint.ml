@@ -39,6 +39,25 @@ let rule_tests =
       (fun () ->
         check_rules "List.mem prefix" ["no-polymorphic-compare"]
           (lint "let f prefix l = List.mem prefix l"));
+    Alcotest.test_case "no-polymorphic-compare: (=) against None" `Quick
+      (fun () ->
+        (* The lib/net trie pattern this rule extension exists for:
+           comparing a plain-looking option field still recurses into
+           the payload structurally. *)
+        check_rules "node.value = None" ["no-polymorphic-compare"]
+          (lint "let f node = node.value = None"));
+    Alcotest.test_case "no-polymorphic-compare: (<>) against None" `Quick
+      (fun () ->
+        check_rules "task <> None" ["no-polymorphic-compare"]
+          (lint "let f t = t.task <> None"));
+    Alcotest.test_case "no-polymorphic-compare: Option.is_none is the fix" `Quick
+      (fun () ->
+        check_rules "Option.is_none node.value" []
+          (lint "let f node = Option.is_none node.value"));
+    Alcotest.test_case "no-polymorphic-compare: None in a record literal is fine"
+      `Quick (fun () ->
+        check_rules "field initialised to None" []
+          (lint "type r = { v : int option }\nlet f () = { v = None }"));
     Alcotest.test_case "ordered-hashtbl-escape: fold into JSON" `Quick
       (fun () ->
         check_rules "unsorted fold feeds Json" ["ordered-hashtbl-escape"]

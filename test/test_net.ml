@@ -300,6 +300,190 @@ let lpm_tests =
            Lpm.is_empty t));
   ]
 
+let flat_fib_tests =
+  let pfx = Prefix.v in
+  let ip = Ipv4.of_string_exn in
+  let look t a = Flat_fib.lookup_value t (ip a) in
+  (* A pool spanning every level of the 16/8/8 layout, plus the churn
+     pathologies named in the issue: a default route, boundary lengths
+     on both sides of each stride, and adjacent /32s. *)
+  let pool =
+    [|
+      "0.0.0.0/0"; "10.0.0.0/8"; "10.0.0.0/15"; "10.0.0.0/16"; "10.0.0.0/17";
+      "10.0.0.0/20"; "10.0.0.0/24"; "10.0.0.0/25"; "10.0.0.0/28";
+      "10.0.0.0/31"; "10.0.0.4/32"; "10.0.0.5/32"; "10.0.1.0/24";
+      "10.128.0.0/9"; "172.16.0.0/12"; "192.168.0.0/16"; "192.168.1.0/24";
+      "192.168.1.128/25"; "255.255.255.255/32";
+    |]
+  in
+  let probe_addrs =
+    [
+      "0.0.0.1"; "9.255.255.255"; "10.0.0.0"; "10.0.0.1"; "10.0.0.4";
+      "10.0.0.5"; "10.0.0.6"; "10.0.0.15"; "10.0.0.127"; "10.0.0.128";
+      "10.0.0.255"; "10.0.1.1"; "10.0.2.1"; "10.1.255.255"; "10.128.0.1";
+      "10.200.3.4"; "172.16.9.9"; "172.32.0.1"; "192.168.0.7";
+      "192.168.1.5"; "192.168.1.200"; "192.168.2.1"; "255.255.255.255";
+    ]
+  in
+  let agree msg oracle t =
+    List.iter
+      (fun a ->
+        let addr = ip a in
+        let expect = Option.map snd (Lpm.lookup oracle addr) in
+        Alcotest.(check (option int))
+          (Printf.sprintf "%s: lookup_value %s" msg a)
+          expect
+          (Flat_fib.lookup_value t addr);
+        Alcotest.(check (option int))
+          (Printf.sprintf "%s: lookup %s" msg a)
+          expect
+          (Option.map snd (Flat_fib.lookup t addr)))
+      probe_addrs
+  in
+  [
+    Alcotest.test_case "longest match across all three levels" `Quick (fun () ->
+        let t = Flat_fib.create () in
+        Flat_fib.insert t (pfx "10.0.0.0/8") 8;
+        Flat_fib.insert t (pfx "10.1.0.0/16") 16;
+        Flat_fib.insert t (pfx "10.1.2.0/24") 24;
+        Flat_fib.insert t (pfx "10.1.2.128/25") 25;
+        Flat_fib.insert t (pfx "10.1.2.130/32") 32;
+        Alcotest.(check (option int)) "host" (Some 32) (look t "10.1.2.130");
+        Alcotest.(check (option int)) "/25" (Some 25) (look t "10.1.2.131");
+        Alcotest.(check (option int)) "/24" (Some 24) (look t "10.1.2.1");
+        Alcotest.(check (option int)) "/16" (Some 16) (look t "10.1.3.1");
+        Alcotest.(check (option int)) "/8" (Some 8) (look t "10.2.0.1");
+        Alcotest.(check (option int)) "miss" None (look t "11.0.0.1");
+        (* lookup reconstructs the winning prefix from the stored length *)
+        Alcotest.(check (option (pair prefix int)))
+          "winning prefix"
+          (Some (pfx "10.1.2.128/25", 25))
+          (Flat_fib.lookup t (ip "10.1.2.131")));
+    Alcotest.test_case "default route is the backstop" `Quick (fun () ->
+        let t = Flat_fib.create () in
+        Flat_fib.insert t Prefix.default_route 0;
+        Flat_fib.insert t (pfx "10.0.0.0/8") 8;
+        Alcotest.(check (option int)) "covered" (Some 8) (look t "10.9.9.9");
+        Alcotest.(check (option int)) "everything else" (Some 0) (look t "8.8.8.8");
+        Flat_fib.remove t Prefix.default_route;
+        Alcotest.(check (option int)) "backstop gone" None (look t "8.8.8.8");
+        Alcotest.(check (option int)) "specific survives" (Some 8) (look t "10.9.9.9"));
+    Alcotest.test_case "stride boundaries /16|/17 and /24|/25" `Quick (fun () ->
+        let t = Flat_fib.create () in
+        Flat_fib.insert t (pfx "10.1.0.0/16") 16;
+        Flat_fib.insert t (pfx "10.1.0.0/17") 17;
+        Flat_fib.insert t (pfx "10.1.0.0/24") 24;
+        Flat_fib.insert t (pfx "10.1.0.0/25") 25;
+        Alcotest.(check (option int)) "deepest" (Some 25) (look t "10.1.0.1");
+        Alcotest.(check (option int)) "upper half of /24" (Some 24) (look t "10.1.0.200");
+        Alcotest.(check (option int)) "rest of /17" (Some 17) (look t "10.1.1.1");
+        Alcotest.(check (option int)) "upper half of /16" (Some 16) (look t "10.1.200.1");
+        Flat_fib.remove t (pfx "10.1.0.0/25");
+        Alcotest.(check (option int)) "falls to /24" (Some 24) (look t "10.1.0.1");
+        Flat_fib.remove t (pfx "10.1.0.0/24");
+        Alcotest.(check (option int)) "falls to /17" (Some 17) (look t "10.1.0.1"));
+    Alcotest.test_case "adjacent /32s stay distinct through churn" `Quick
+      (fun () ->
+        let t = Flat_fib.create () in
+        Flat_fib.insert t (pfx "10.0.0.4/32") 4;
+        Flat_fib.insert t (pfx "10.0.0.5/32") 5;
+        Alcotest.(check (option int)) "four" (Some 4) (look t "10.0.0.4");
+        Alcotest.(check (option int)) "five" (Some 5) (look t "10.0.0.5");
+        Flat_fib.remove t (pfx "10.0.0.4/32");
+        Alcotest.(check (option int)) "four gone" None (look t "10.0.0.4");
+        Alcotest.(check (option int)) "five unharmed" (Some 5) (look t "10.0.0.5");
+        (* remove-then-reinsert lands in a recycled slot *)
+        Flat_fib.insert t (pfx "10.0.0.4/32") 44;
+        Alcotest.(check (option int)) "reinserted" (Some 44) (look t "10.0.0.4");
+        Alcotest.(check int) "cardinal" 2 (Flat_fib.cardinal t));
+    Alcotest.test_case "removal recycles interior nodes" `Quick (fun () ->
+        let t = Flat_fib.create () in
+        let ps =
+          List.init 8 (fun i -> Prefix.make (Ipv4.of_octets 10 i 0 0) 24)
+        in
+        List.iter (fun p -> Flat_fib.insert t p 1) ps;
+        Alcotest.(check bool) "nodes allocated" true (Flat_fib.nodes t > 0);
+        List.iter (fun p -> Flat_fib.remove t p) ps;
+        Alcotest.(check int) "all recycled" 0 (Flat_fib.nodes t);
+        Alcotest.(check bool) "empty" true (Flat_fib.is_empty t);
+        (* the freed pool is reused, not leaked *)
+        List.iter (fun p -> Flat_fib.insert t p 2) ps;
+        Alcotest.(check int) "cardinal back" 8 (Flat_fib.cardinal t);
+        Alcotest.(check (option int)) "reused nodes serve lookups" (Some 2)
+          (look t "10.3.0.9"));
+    Alcotest.test_case "to_list and find_exact mirror the trie" `Quick
+      (fun () ->
+        let t = Flat_fib.create () and oracle = Lpm.create () in
+        Array.iteri
+          (fun i s ->
+            Flat_fib.insert t (pfx s) i;
+            Lpm.insert oracle (pfx s) i)
+          pool;
+        Alcotest.(check int) "cardinal" (Lpm.cardinal oracle) (Flat_fib.cardinal t);
+        Alcotest.(check bool) "same bindings" true
+          (List.equal
+             (fun (p, v) (q, w) -> Prefix.equal p q && Int.equal v w)
+             (Lpm.to_list oracle) (Flat_fib.to_list t));
+        Alcotest.(check (option int)) "find_exact hit" (Some 10)
+          (Flat_fib.find_exact t (pfx "10.0.0.4/32"));
+        Alcotest.(check (option int)) "find_exact miss" None
+          (Flat_fib.find_exact t (pfx "10.0.0.6/32"));
+        agree "full pool" oracle t);
+    Test_seed.to_alcotest
+      (QCheck.Test.make ~name:"flat fib agrees with the trie under churn"
+         ~count:150
+         QCheck.(
+           small_list (pair (int_bound (Array.length pool - 1)) (option small_int)))
+         (fun ops ->
+           let t = Flat_fib.create () and oracle = Lpm.create () in
+           List.iter
+             (fun (i, op) ->
+               let p = pfx pool.(i) in
+               match op with
+               | Some v ->
+                 Flat_fib.insert t p v;
+                 Lpm.insert oracle p v
+               | None ->
+                 Flat_fib.remove t p;
+                 Lpm.remove oracle p)
+             ops;
+           Flat_fib.cardinal t = Lpm.cardinal oracle
+           && List.equal
+                (fun (p, v) (q, w) -> Prefix.equal p q && Int.equal v w)
+                (Flat_fib.to_list t) (Lpm.to_list oracle)
+           && List.for_all
+                (fun a ->
+                  let addr = ip a in
+                  let expect = Option.map snd (Lpm.lookup oracle addr) in
+                  Option.equal Int.equal expect (Flat_fib.lookup_value t addr)
+                  && Option.equal Int.equal expect
+                       (Option.map snd (Flat_fib.lookup t addr)))
+                probe_addrs));
+    Test_seed.to_alcotest
+      (QCheck.Test.make ~name:"lookup_batch agrees with lookup_value" ~count:150
+         QCheck.(
+           pair
+             (small_list (pair (int_bound (Array.length pool - 1)) small_int))
+             (list_of_size Gen.(0 -- 40) arbitrary_ipv4))
+         (fun (bindings, addrs) ->
+           let t = Flat_fib.create () in
+           List.iter (fun (i, v) -> Flat_fib.insert t (pfx pool.(i)) v) bindings;
+           let addrs = Array.of_list addrs in
+           let out = Array.make (Array.length addrs) None in
+           Flat_fib.lookup_batch t addrs out;
+           Array.for_all2
+             (fun a got ->
+               Option.equal Int.equal (Flat_fib.lookup_value t a) got)
+             addrs out));
+    Alcotest.test_case "lookup_batch checks output capacity" `Quick (fun () ->
+        let t = Flat_fib.create () in
+        Alcotest.check_raises "short out"
+          (Invalid_argument "Flat_fib.lookup_batch: output array shorter than input")
+          (fun () ->
+            Flat_fib.lookup_batch t [| ip "10.0.0.1"; ip "10.0.0.2" |]
+              (Array.make 1 None)));
+  ]
+
 let sample_udp_frame =
   Ethernet.make
     ~src:(Mac.of_string_exn "00:aa:00:00:00:01")
@@ -515,6 +699,7 @@ let suite =
     ("net.mac", mac_tests);
     ("net.prefix", prefix_tests);
     ("net.lpm", lpm_tests);
+    ("net.flat_fib", flat_fib_tests);
     ("net.wire", wire_tests);
     ("net.link", link_tests);
     ("net.pcap", pcap_tests);

@@ -577,6 +577,45 @@ let fib_cache_tests =
         Alcotest.(check (option int)) "rule updated" (Some 3)
           (switch_port_for table cache (ip "1.2.0.1"));
         Alcotest.(check int) "one aggregate" 1 (Supercharger.Fib_cache.aggregates cache));
+    Alcotest.test_case "re-route reaches a live switch as a rule update" `Quick
+      (fun () ->
+        (* End to end through the real control channel: the cache's
+           flow mods ride a connected controller into a Switch, and a
+           re-route must leave one rule behind, now forwarding to the
+           new peer's MAC and port. The stale-rule bug this guards
+           against sent a second Add instead of a Modify_strict. *)
+        let e = Sim.Engine.create () in
+        let sw = Openflow.Switch.create e ~n_ports:4 () in
+        let send = Openflow.Switch.connect_controller sw (fun _ -> ()) in
+        let cache =
+          Supercharger.Fib_cache.create
+            ~allocator:(Supercharger.Vnh.create ())
+            ~send ()
+        in
+        Supercharger.Fib_cache.declare_peer cache (cache_peer 2 2);
+        Supercharger.Fib_cache.declare_peer cache (cache_peer 3 3);
+        ignore (Supercharger.Fib_cache.route cache (pfx "1.2.0.0/16") (Some (ip "10.0.0.2")));
+        Sim.Engine.run e;
+        let size_after_first = Openflow.Flow_table.size (Openflow.Switch.table sw) in
+        ignore (Supercharger.Fib_cache.route cache (pfx "1.2.0.0/16") (Some (ip "10.0.0.3")));
+        Sim.Engine.run e;
+        Alcotest.(check int) "table cardinality unchanged" size_after_first
+          (Openflow.Flow_table.size (Openflow.Switch.table sw));
+        let frame =
+          Net.Ethernet.make ~src:(mac "00:aa:00:00:00:01")
+            ~dst:(Supercharger.Fib_cache.vmac cache)
+            (Net.Ethernet.Ipv4
+               (Net.Ipv4_packet.udp ~src:(ip "192.168.0.100") ~dst:(ip "1.2.0.1")
+                  ~src_port:1 ~dst_port:2 "x"))
+        in
+        match Openflow.Switch.resolve sw ~port:0 frame with
+        | Openflow.Switch.Forward (rewritten, ports) ->
+          Alcotest.(check (list int)) "new peer's port" [3] ports;
+          Alcotest.(check string) "new peer's mac" "00:bb:00:00:00:03"
+            (Net.Mac.to_string rewritten.Net.Ethernet.dst)
+        | Openflow.Switch.Punt | Openflow.Switch.Miss
+        | Openflow.Switch.Blackhole ->
+          Alcotest.fail "expected the packet to forward");
     Alcotest.test_case "compression factor on an internet-shaped table" `Quick
       (fun () ->
         let cache, _ = make_cache () in
