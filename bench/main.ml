@@ -9,6 +9,7 @@
      dune exec bench/main.exe -- ablations    - BFD/flow-mod sweeps + replication
      dune exec bench/main.exe -- extensions   - FIB cache + load balancing (S1)
      dune exec bench/main.exe -- dataplane    - LPM + forwarding throughput
+     dune exec bench/main.exe -- deployment   - convergence win vs %% supercharged
      dune exec bench/main.exe -- ops          - Bechamel per-operation costs
      dune exec bench/main.exe -- all --quick  - reduced sizes (CI-friendly)
      dune exec bench/main.exe -- all --full   - 3 repetitions like the paper
@@ -235,6 +236,26 @@ let run_dataplane () =
   record_json "dataplane" (Experiments.Dataplane.to_json report)
 
 (* ------------------------------------------------------------------ *)
+(* Partial deployment - the multi-router topology sweep.               *)
+
+let run_deployment () =
+  section "Deployment - convergence win vs % of routers supercharged";
+  let routers = if full then 10 else 8 in
+  let n_prefixes = if quick then 150 else if full then 1_000 else 400 in
+  let coverage = if quick then Some [ 0; 1; 2; 3; 5; routers ] else None in
+  Fmt.pr
+    "%d-router ring+chords, 3 externs, %d prefixes; scenarios: extern-fail, srlg, \
+     partition@.@."
+    routers n_prefixes;
+  let rows =
+    Experiments.Deployment.run ~routers ~n_prefixes ?coverage
+      ~progress:(fun msg -> Fmt.epr "  %s@." msg)
+      ()
+  in
+  Fmt.pr "%a" Experiments.Deployment.pp_table rows;
+  record_json "deployment" (Experiments.Deployment.to_json rows)
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel per-operation micro-benchmarks.                            *)
 
 let ops_tests () =
@@ -421,6 +442,7 @@ let () =
   if want "ablations" then run_ablations ();
   if want "extensions" then run_extensions ();
   if want "dataplane" then run_dataplane ();
+  if want "deployment" then run_deployment ();
   if want "ops" then run_ops ();
   (match json_file with
   | Some file ->

@@ -281,6 +281,120 @@ let check_cmd =
       const run $ schedules_arg $ events_arg $ check_peers_arg $ check_prefixes_arg
       $ no_chaos_arg $ mutate_arg $ seed_arg)
 
+let topo_check_cmd =
+  let seeds_arg =
+    Arg.(
+      value
+      & opt (list int64) [101L; 102L; 103L]
+      & info ["seeds"] ~docv:"S,S,..." ~doc:"One schedule per seed.")
+  in
+  let routers_arg =
+    Arg.(value & opt int 8 & info ["routers"] ~docv:"N" ~doc:"Ring size (>= 6).")
+  in
+  let events_arg =
+    Arg.(value & opt int 14 & info ["events"] ~docv:"N" ~doc:"Events per schedule.")
+  in
+  let topo_prefixes_arg =
+    Arg.(value & opt int 6 & info ["prefixes"] ~docv:"N" ~doc:"Distinct prefixes.")
+  in
+  let run seeds routers events n_prefixes =
+    Fmt.pr
+      "topo-check: %d schedules x %d events, %d routers, %d prefixes, seeds=[%a]@."
+      (List.length seeds) events routers n_prefixes
+      Fmt.(list ~sep:comma int64)
+      seeds;
+    let t0 = Sys.time () in
+    let result =
+      Check.Topo_run.run_matrix ~routers ~n_prefixes ~events
+        ~progress:(fun i -> Fmt.epr "  schedule %d...@." i)
+        ~seeds ()
+    in
+    let dt = Sys.time () -. t0 in
+    match result with
+    | None ->
+      Fmt.pr "PASS: %d multi-node schedules, zero invariant violations (%.1fs)@."
+        (List.length seeds) dt;
+      exit 0
+    | Some f ->
+      Fmt.pr "FAIL (%.1fs):@.%a" dt Check.Topo_run.pp_failure f;
+      exit 1
+  in
+  Cmd.v
+    (Cmd.info "topo-check"
+       ~doc:
+         "Multi-node differential checker: seeded fault schedules (extern/link/srlg \
+          failures, controller partitions) on a ring fabric, verified against the \
+          ground-truth forwarding oracle at quiescence.")
+    Term.(const run $ seeds_arg $ routers_arg $ events_arg $ topo_prefixes_arg)
+
+let deployment_cmd =
+  let routers_arg =
+    Arg.(value & opt int 8 & info ["routers"] ~docv:"N" ~doc:"Ring size (>= 6).")
+  in
+  let dep_prefixes_arg =
+    Arg.(value & opt int 200 & info ["prefixes"] ~docv:"N" ~doc:"Prefixes per extern.")
+  in
+  let seeds_arg =
+    Arg.(
+      value
+      & opt (list int64) Experiments.Deployment.default_seeds
+      & info ["seeds"] ~docv:"S,S,..." ~doc:"One sweep per seed.")
+  in
+  let coverage_arg =
+    Arg.(
+      value
+      & opt (some (list int)) None
+      & info ["coverage"] ~docv:"K,K,..."
+          ~doc:"Deployment sizes to measure (default: every 0..routers).")
+  in
+  let csv_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info ["csv"] ~docv:"FILE" ~doc:"Also write the rows as CSV.")
+  in
+  let json_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info ["json"] ~docv:"FILE"
+          ~doc:"Also write the rows as JSON (schema bench/v1).")
+  in
+  let run routers n_prefixes seeds coverage csv json =
+    let rows =
+      Experiments.Deployment.run ~routers ~n_prefixes ?coverage ~seeds
+        ~progress:(fun m -> Fmt.epr "  %s@." m)
+        ()
+    in
+    Experiments.Deployment.pp_table Fmt.stdout rows;
+    (match csv with
+    | Some path ->
+      let oc = open_out path in
+      output_string oc (Experiments.Deployment.to_csv rows);
+      close_out oc;
+      Fmt.pr "csv written to %s@." path
+    | None -> ());
+    match json with
+    | Some path ->
+      Obs.Json.to_file path
+        (Obs.Json.Obj
+           [
+             ("schema", Obs.Json.String "bench/v1");
+             ( "sections",
+               Obs.Json.Obj [("deployment", Experiments.Deployment.to_json rows)] );
+           ]);
+      Fmt.pr "json written to %s@." path
+    | None -> ()
+  in
+  Cmd.v
+    (Cmd.info "deployment"
+       ~doc:
+         "Partial-deployment sweep: convergence win vs fraction of routers \
+          supercharged, on the multi-router fabric.")
+    Term.(
+      const run $ routers_arg $ dep_prefixes_arg $ seeds_arg $ coverage_arg $ csv_arg
+      $ json_arg)
+
 let lint_cmd =
   let root_arg =
     Arg.(
@@ -327,4 +441,12 @@ let () =
        (Cmd.group ~default
           (Cmd.info "sc_lab" ~version:"1.0.0"
              ~doc:"Supercharged-router convergence laboratory.")
-          [run_cmd; micro_cmd; fig5_cmd; check_cmd; lint_cmd]))
+          [
+            run_cmd;
+            micro_cmd;
+            fig5_cmd;
+            check_cmd;
+            topo_check_cmd;
+            deployment_cmd;
+            lint_cmd;
+          ]))

@@ -1,0 +1,146 @@
+(* An independent model of where every router of a fabric should be
+   forwarding each prefix once the network is quiescent. Reachability
+   is recomputed here with Floyd-Warshall over the ground-truth link
+   state — deliberately not the incremental Dijkstra the routers run —
+   while route preference reuses [Bgp.Decision.compare]: the comparator
+   is a shared definition, the *distributed machinery* (flooding,
+   reflection, validation, group re-pointing) is what this oracle keeps
+   honest. *)
+
+let inf = max_int / 4
+
+type view = {
+  spec : Topo.Spec.t;
+  link_up : int -> bool;
+  extern_alive : int -> bool;
+  announced : int -> (Net.Prefix.t * Bgp.Attributes.t) list;
+}
+
+let of_fabric fabric =
+  {
+    spec = Topo.Fabric.spec fabric;
+    link_up = (fun l -> Topo.Fabric.link_up fabric l);
+    extern_alive = (fun k -> Topo.Fabric.extern_alive fabric k);
+    announced = (fun k -> Topo.Fabric.announced fabric k);
+  }
+
+(* All-pairs shortest paths over the links that are really up. *)
+let distances view =
+  let n = Topo.Spec.n_routers view.spec in
+  let d = Array.make_matrix n n inf in
+  for i = 0 to n - 1 do
+    d.(i).(i) <- 0
+  done;
+  Array.iteri
+    (fun l { Topo.Spec.ends = a, b; cost; srlg = _ } ->
+      if view.link_up l && cost < d.(a).(b) then begin
+        d.(a).(b) <- cost;
+        d.(b).(a) <- cost
+      end)
+    view.spec.Topo.Spec.links;
+  for k = 0 to n - 1 do
+    for i = 0 to n - 1 do
+      for j = 0 to n - 1 do
+        if d.(i).(k) + d.(k).(j) < d.(i).(j) then d.(i).(j) <- d.(i).(k) + d.(k).(j)
+      done
+    done
+  done;
+  d
+
+let connected dist =
+  Array.for_all (fun row -> Array.for_all (fun d -> d < inf) row) dist
+
+let attrs_for view ~extern prefix =
+  List.find_map
+    (fun (p, attrs) -> if Net.Prefix.equal p prefix then Some attrs else None)
+    (view.announced extern)
+
+(* The best route router [h] holds from its *local* external peers —
+   what it owes the reflector. Mirrors the RIB's order: these all tie
+   down to peer-router-id (the extern address), so higher LOCAL_PREF
+   then lower extern index. *)
+let local_best view ~router prefix =
+  let best = ref None in
+  Array.iteri
+    (fun k { Topo.Spec.at; pref; _ } ->
+      if at = router && view.extern_alive k then
+        match attrs_for view ~extern:k prefix with
+        | None -> ()
+        | Some attrs -> (
+          match !best with
+          | Some (_, best_pref, _) when best_pref >= pref -> ()
+          | Some _ | None -> best := Some (k, pref, attrs)))
+    view.spec.Topo.Spec.externs;
+  Option.map (fun (k, _, attrs) -> (k, attrs)) !best
+
+(* The per-origin advert store the reflector holds at quiescence. *)
+let adverts view prefix =
+  List.filter_map
+    (fun h ->
+      Option.map (fun (e, attrs) -> (h, e, attrs)) (local_best view ~router:h prefix))
+    (List.init (Topo.Spec.n_routers view.spec) (fun i -> i))
+
+let ibgp_route ~igp_cost ~origin attrs =
+  Bgp.Route.make ~ebgp:false ~igp_cost ~peer_id:origin
+    ~peer_router_id:(Topo.Spec.router_ip origin) attrs
+
+(* What the reflector reflects: best of the advert store, all costs
+   seen as zero from the controller's seat. *)
+let rr_best view prefix =
+  adverts view prefix
+  |> List.map (fun (h, e, attrs) -> ((h, e, attrs), ibgp_route ~igp_cost:0 ~origin:h attrs))
+  |> List.stable_sort (fun (_, a) (_, b) -> Bgp.Decision.compare a b)
+  |> function
+  | [] -> None
+  | (adv, _) :: _ -> Some adv
+
+(* A plain router ranks its local eBGP routes against the single
+   reflected route and forwards to the first whose egress router its
+   IGP can reach — next-hop validation. The reflected route is its only
+   window on remote egresses: that blind spot is real, and mirrored. *)
+let expected_plain view dist ~router prefix =
+  let locals =
+    List.filter_map
+      (fun (k, at) ->
+        if at = router && view.extern_alive k then
+          Option.map
+            (fun attrs ->
+              ( (k, router),
+                Bgp.Route.make ~ebgp:true ~peer_id:k
+                  ~peer_router_id:(Topo.Spec.extern_ip k) attrs ))
+            (attrs_for view ~extern:k prefix)
+        else None)
+      (Array.to_list
+         (Array.mapi (fun k e -> (k, e.Topo.Spec.at)) view.spec.Topo.Spec.externs))
+  in
+  let reflected =
+    match rr_best view prefix with
+    | Some (h, e, attrs) when h <> router ->
+      let igp_cost = if dist.(router).(h) < inf then dist.(router).(h) else inf in
+      [ ((e, h), ibgp_route ~igp_cost ~origin:h attrs) ]
+    | Some _ | None -> []
+  in
+  locals @ reflected
+  |> List.stable_sort (fun (_, a) (_, b) -> Bgp.Decision.compare a b)
+  |> List.find_map (fun ((e, host), _) ->
+         if host = router || dist.(router).(host) < inf then Some e else None)
+
+(* A supercharged router's table is derived by the controller from the
+   full advert store: every origin's best-external, filtered by extern
+   liveness and reachability from this ingress, ranked by attributes
+   then this ingress's own IGP distance. *)
+let expected_supercharged view dist ~router prefix =
+  adverts view prefix
+  |> List.filter_map (fun (h, e, attrs) ->
+         if view.extern_alive e && (h = router || dist.(router).(h) < inf) then
+           Some (e, ibgp_route ~igp_cost:dist.(router).(h) ~origin:h attrs)
+         else None)
+  |> List.stable_sort (fun (_, a) (_, b) -> Bgp.Decision.compare a b)
+  |> function
+  | [] -> None
+  | (e, _) :: _ -> Some e
+
+let expected_choice view dist ~router prefix =
+  if Topo.Spec.supercharged view.spec router then
+    expected_supercharged view dist ~router prefix
+  else expected_plain view dist ~router prefix

@@ -440,6 +440,25 @@ let resync_peer_routes t (up : upstream) =
     with_install_barrier t (fun () ->
         relay_emissions t (Algorithm.process_changes t.algorithm changes))
 
+(* Wire a live IGP node into the decision process. Costs come from the
+   node's memoized SPF table (one Dijkstra per database change, however
+   many routes are ranked), and every IGP topology change re-ranks the
+   stored routes — hot-potato routing — by replaying each upstream's
+   Adj-RIB-In against the new costs: [resync_peer_routes] re-announces
+   with fresh [igp_cost] and [Rib.announce] turns no-op re-announcements
+   into zero churn, so only genuinely re-ranked prefixes move. *)
+let attach_igp t node =
+  t.igp_cost_fn <-
+    Some
+      (fun nh ->
+        match Igp.Node.distance_to node nh with
+        | Some d -> d
+        (* An IGP-unreachable next hop ranks below every reachable one
+           (half of max_int so the comparison cannot overflow). *)
+        | None -> max_int / 2);
+  Igp.Node.on_change node (fun _distances ->
+      List.iter (fun up -> resync_peer_routes t up) t.upstreams)
+
 (* The slow path is debounced: it only withdraws the peer's routes once
    the failure has persisted for [bfd_debounce]. A spurious BFD flap
    (Down immediately followed by Up) therefore costs two cheap rule

@@ -173,6 +173,14 @@ val set_igp_cost_fn : t -> (Net.Ipv4.t -> int) -> unit
     every next hop costs 0 (all peers directly connected, as in the
     paper's lab). *)
 
+val attach_igp : t -> Igp.Node.t -> unit
+(** Binds a live IGP node as the cost oracle {e and} subscribes to its
+    changes: each SPF recomputation replays every upstream's Adj-RIB-In
+    with fresh costs, so hot-potato re-ranking happens without a session
+    reset (identical re-announcements are absorbed by the RIB). Next
+    hops the IGP cannot reach rank below every reachable one. Takes over
+    the node's [on_change] slot and the controller's cost function. *)
+
 val on_failover : t -> (failed:Net.Ipv4.t -> flow_mods:int -> unit) -> unit
 (** Fires when the Listing 2 procedure completes (rules handed to the
     switch; they still take the switch's per-rule latency to land). *)

@@ -7,6 +7,9 @@ type t = {
   mutable seq : int;
   mutable change_cb : ((Net.Ipv4.t * int) list -> unit) option;
   mutable flooded : int;
+  mutable spf_cache : Spf.table option;
+      (* memoized SPF, invalidated on every database change; queries
+         between changes must not re-run Dijkstra *)
 }
 
 and neighbor = {
@@ -14,9 +17,17 @@ and neighbor = {
   mutable cost : int;
 }
 
+let spf t =
+  match t.spf_cache with
+  | Some table -> table
+  | None ->
+    let table = Spf.compute ~source:t.router_id ~lsas:(Database.all t.db) in
+    t.spf_cache <- Some table;
+    table
+
 let spf_and_notify t =
   match t.change_cb with
-  | Some f -> f (Spf.distances ~source:t.router_id ~lsas:(Database.all t.db))
+  | Some f -> f (Spf.to_alist (spf t))
   | None -> ()
 
 (* Receiving a flooded LSA: install if newer, then flood onwards to every
@@ -24,6 +35,7 @@ let spf_and_notify t =
 let rec receive t ~from (lsa : Lsa.t) =
   match Database.install t.db lsa with
   | Database.Installed ->
+    t.spf_cache <- None;
     flood t ~except:(Some from) lsa;
     spf_and_notify t
   | Database.Duplicate | Database.Stale -> ()
@@ -53,6 +65,7 @@ let originate t =
       ~links:(List.map (fun n -> (n.peer.router_id, n.cost)) t.neighbors)
   in
   ignore (Database.install t.db lsa);
+  t.spf_cache <- None;
   flood t ~except:None lsa;
   spf_and_notify t;
   Sim.Trace.emitf (Sim.Engine.trace t.engine) (Sim.Engine.now t.engine)
@@ -69,6 +82,7 @@ let create engine ~router_id ?(flood_delay = Sim.Time.of_ms 1) () =
       seq = 0;
       change_cb = None;
       flooded = 0;
+      spf_cache = None;
     }
   in
   originate t;
@@ -112,11 +126,9 @@ let disconnect ~a ~b =
   originate b
 
 let database t = t.db
-
-let distances t = Spf.distances ~source:t.router_id ~lsas:(Database.all t.db)
-
-let distance_to t target =
-  Spf.distance_to ~source:t.router_id ~lsas:(Database.all t.db) target
+let distances t = Spf.to_alist (spf t)
+let distance_to t target = Spf.distance (spf t) target
+let next_hop_to t target = Spf.first_hop (spf t) target
 
 let on_change t f = t.change_cb <- Some f
 

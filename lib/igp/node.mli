@@ -31,8 +31,23 @@ val disconnect : a:t -> b:t -> unit
     uses remaining links). *)
 
 val database : t -> Database.t
+
+val receive : t -> from:Net.Ipv4.t -> Lsa.t -> unit
+(** Handles an LSA flooded in by neighbor [from]: installs it if it is
+    news — including a same-sequence LSA whose links differ from the
+    held copy — and floods it onward to every other neighbor. This is
+    the entry point flooding itself uses; exposed so tests and fault
+    injectors can present arbitrary LSAs to a node. *)
+
+val spf : t -> Spf.table
+(** The node's current shortest-path table, memoized per database
+    change: repeated queries between changes run zero extra SPFs. *)
+
 val distances : t -> (Net.Ipv4.t * int) list
 val distance_to : t -> Net.Ipv4.t -> int option
+
+val next_hop_to : t -> Net.Ipv4.t -> Net.Ipv4.t option
+(** The neighbor the shortest path to the target leaves through. *)
 
 val on_change : t -> ((Net.Ipv4.t * int) list -> unit) -> unit
 (** Fires after each SPF recomputation triggered by a database change. *)

@@ -5,7 +5,24 @@ module Ip_table = Hashtbl.Make (struct
   let hash = Net.Ipv4.hash
 end)
 
-let distances ~source ~lsas =
+type entry = {
+  dist : int;
+  first_hop : Net.Ipv4.t option;  (* None only for the source itself *)
+}
+
+type table = {
+  source : Net.Ipv4.t;
+  entries : entry Ip_table.t;
+}
+
+(* Process-wide count of Dijkstra runs. The regression tests use it to
+   pin down the "one SPF per database change" contract: querying a
+   node's distances must not re-run the algorithm. *)
+let computed = ref 0
+let computations () = !computed
+
+let compute ~source ~lsas =
+  incr computed;
   (* Index the freshest LSA per origin. *)
   let db = Ip_table.create 16 in
   List.iter
@@ -27,29 +44,49 @@ let distances ~source ~lsas =
       List.filter (fun (n, _) -> advertises n a) lsa.links
     | None -> []
   in
-  let dist = Ip_table.create 16 in
-  let heap = Sim.Heap.create ~cmp:(fun (da, _) (db, _) -> Int.compare da db) () in
-  Sim.Heap.push heap (0, source);
+  let entries = Ip_table.create 16 in
+  let heap =
+    Sim.Heap.create ~cmp:(fun (da, _, _) (db, _, _) -> Int.compare da db) ()
+  in
+  Sim.Heap.push heap (0, source, None);
   let rec loop () =
     match Sim.Heap.pop heap with
     | None -> ()
-    | Some (d, node) ->
-      if not (Ip_table.mem dist node) then begin
-        Ip_table.replace dist node d;
+    | Some (d, node, first_hop) ->
+      if not (Ip_table.mem entries node) then begin
+        Ip_table.replace entries node { dist = d; first_hop };
         List.iter
           (fun (neighbor, cost) ->
-            if not (Ip_table.mem dist neighbor) then
-              Sim.Heap.push heap (d + cost, neighbor))
+            if not (Ip_table.mem entries neighbor) then
+              (* The first hop of a path through [node] is [node] itself
+                 when we are expanding the source, else it is inherited. *)
+              let hop =
+                match first_hop with
+                | None -> Some neighbor
+                | Some _ -> first_hop
+              in
+              Sim.Heap.push heap (d + cost, neighbor, hop))
           (edges_from node)
       end;
       loop ()
   in
   loop ();
+  { source; entries }
+
+let source t = t.source
+let distance t target = Option.map (fun e -> e.dist) (Ip_table.find_opt t.entries target)
+
+let first_hop t target =
+  match Ip_table.find_opt t.entries target with
+  | Some e -> e.first_hop
+  | None -> None
+
+let reachable t target = Ip_table.mem t.entries target
+
+let to_alist t =
   List.sort
     (fun (a, _) (b, _) -> Net.Ipv4.compare a b)
-    (Ip_table.fold (fun node d acc -> (node, d) :: acc) dist [])
+    (Ip_table.fold (fun node e acc -> (node, e.dist) :: acc) t.entries [])
 
-let distance_to ~source ~lsas target =
-  List.find_map
-    (fun (n, d) -> if Net.Ipv4.equal n target then Some d else None)
-    (distances ~source ~lsas)
+let distances ~source ~lsas = to_alist (compute ~source ~lsas)
+let distance_to ~source ~lsas target = distance (compute ~source ~lsas) target

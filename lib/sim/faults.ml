@@ -29,11 +29,18 @@ let chaos =
 
 let blackout = profile ~drop:1.0 "blackout"
 
+(* Same drop-everything behavior as [blackout], but a distinct label so
+   traces and scenario logs can tell a partitioned controller apart from
+   a dead switch: a partition is expected to heal, and the recovery
+   machinery (periodic resync) is what the scenario is exercising. *)
+let partition = profile ~drop:1.0 "partition"
+
 let of_name = function
   | "none" -> Some none
   | "lossy" -> Some lossy
   | "chaos" -> Some chaos
   | "blackout" -> Some blackout
+  | "partition" -> Some partition
   | _ -> None
 
 type t = {

@@ -51,9 +51,14 @@ val chaos : profile
 val blackout : profile
 (** Drops everything — a switch (or peer) that has stopped answering. *)
 
+val partition : profile
+(** Drops everything, like {!blackout}, but labelled as a {e controller
+    partition}: a temporary window after which the control channel heals
+    and resync machinery is expected to repair any divergence. *)
+
 val of_name : string -> profile option
 (** Looks up one of the named profiles above ("none", "lossy", "chaos",
-    "blackout") — how a scenario spec references them. *)
+    "blackout", "partition") — how a scenario spec references them. *)
 
 type t
 

@@ -1,0 +1,22 @@
+type t = {
+  engine : Sim.Engine.t;
+  latency : Sim.Time.t;
+  faults : Sim.Faults.t;
+}
+
+let create engine ~name ~seed ?(latency = Sim.Time.of_ms 1) () =
+  { engine; latency; faults = Sim.Faults.create engine ~name ~seed Sim.Faults.none }
+
+let faults t = t.faults
+
+let send t f =
+  match Sim.Faults.plan t.faults with
+  | Sim.Faults.Drop -> ()
+  | Sim.Faults.Deliver extras ->
+    List.iter
+      (fun extra ->
+        ignore (Sim.Engine.schedule_after t.engine (Sim.Time.add t.latency extra) f))
+      extras
+
+let partition t ~from ~until =
+  Sim.Faults.during t.faults ~from ~until Sim.Faults.partition

@@ -41,6 +41,29 @@ let database_tests =
         match Igp.Database.find db (ip "10.0.0.1") with
         | Some held -> Alcotest.(check int) "freshest kept" 9 held.Igp.Lsa.seq
         | None -> Alcotest.fail "missing");
+    Alcotest.test_case "same-seq different-links is news, not a duplicate" `Quick
+      (fun () ->
+        (* Regression: an LSA re-issued under an unchanged sequence number
+           but with different links is a topology change. It used to be
+           classified [Duplicate] and silently dropped — never installed,
+           never flooded. *)
+        let db = Igp.Database.create () in
+        let original = lsa "10.0.0.1" 5 [("10.0.0.2", 1)] in
+        let divergent = lsa "10.0.0.1" 5 [("10.0.0.2", 3)] in
+        Alcotest.(check bool) "original installs" true
+          (Igp.Database.install db original = Igp.Database.Installed);
+        Alcotest.(check bool) "divergent same-seq installs" true
+          (Igp.Database.install db divergent = Igp.Database.Installed);
+        Alcotest.(check bool) "exact re-send is the duplicate" true
+          (Igp.Database.install db divergent = Igp.Database.Duplicate);
+        Alcotest.(check bool) "older still stale" true
+          (Igp.Database.install db (lsa "10.0.0.1" 4 [("10.0.0.2", 9)])
+          = Igp.Database.Stale);
+        match Igp.Database.find db (ip "10.0.0.1") with
+        | Some held ->
+          Alcotest.(check bool) "divergent copy held" true
+            (Igp.Lsa.equal held divergent)
+        | None -> Alcotest.fail "missing");
   ]
 
 (* A small reference topology:
@@ -146,6 +169,47 @@ let spf_tests =
                in
                got = expected)
              [0; 1; 2; 3; 4; 5]));
+    Test_seed.to_alcotest
+      (QCheck.Test.make ~name:"reachability is the two-way edge intersection"
+         ~count:150
+         QCheck.(small_list (pair (pair (0 -- 5) (0 -- 5)) (1 -- 9)))
+         (fun raw_edges ->
+           (* Arbitrary DIRECTED adverts: node a claiming a link to b only
+              counts when b claims a back (the two-way connectivity
+              check), so reachability from node 0 must match a BFS over
+              the intersection graph. *)
+           let node i = Net.Ipv4.of_octets 10 0 0 (1 + i) in
+           let out = Hashtbl.create 16 in
+           List.iter
+             (fun ((a, b), c) -> if a <> b then Hashtbl.replace out (a, b) c)
+             raw_edges;
+           let links_of i =
+             Hashtbl.fold
+               (fun (a, b) c acc -> if a = i then (node b, c) :: acc else acc)
+               out []
+           in
+           let lsas =
+             List.init 6 (fun i ->
+                 Igp.Lsa.make ~origin:(node i) ~seq:1 ~links:(links_of i))
+           in
+           let two_way a b = Hashtbl.mem out (a, b) && Hashtbl.mem out (b, a) in
+           let seen = Array.make 6 false in
+           seen.(0) <- true;
+           let rec bfs = function
+             | [] -> ()
+             | x :: rest ->
+               let fresh =
+                 List.filter (fun y -> (not seen.(y)) && two_way x y)
+                   [0; 1; 2; 3; 4; 5]
+               in
+               List.iter (fun y -> seen.(y) <- true) fresh;
+               bfs (rest @ fresh)
+           in
+           bfs [0];
+           let table = Igp.Spf.compute ~source:(node 0) ~lsas in
+           List.for_all
+             (fun i -> Igp.Spf.reachable table (node i) = seen.(i))
+             [0; 1; 2; 3; 4; 5]));
   ]
 
 (* Four nodes in a line with a shortcut, driven through the engine. *)
@@ -214,6 +278,110 @@ let node_tests =
         match Bgp.Decision.best [via_r4; via_r2] with
         | Some best -> Alcotest.(check int) "nearer NH wins" 0 best.Bgp.Route.peer_id
         | None -> Alcotest.fail "no best");
+    Alcotest.test_case "queries between database changes run zero SPFs" `Quick
+      (fun () ->
+        (* Regression: [distance_to]/[next_hop_to] used to run a full
+           Dijkstra per query. They must share one memoized table,
+           recomputed only when the database changes. *)
+        let e, r1, r2, r3, r4 = make_network () in
+        let all = [r1; r2; r3; r4] in
+        let targets = List.map (fun i -> ip (Fmt.str "10.0.0.%d" i)) [1; 2; 3; 4] in
+        let query_everything () =
+          List.iter
+            (fun n ->
+              ignore (Igp.Node.distances n);
+              List.iter
+                (fun target ->
+                  ignore (Igp.Node.distance_to n target);
+                  ignore (Igp.Node.next_hop_to n target))
+                targets)
+            all
+        in
+        query_everything () (* warm each node's table *);
+        let warm = Igp.Spf.computations () in
+        query_everything ();
+        query_everything ();
+        Alcotest.(check int) "32 queries, zero SPFs" warm (Igp.Spf.computations ());
+        (* A database change invalidates: re-warming costs exactly one
+           SPF per node, and queries are free again afterwards. *)
+        Igp.Node.disconnect ~a:r2 ~b:r3;
+        Sim.Engine.run ~until:(Sim.Time.of_sec 2.0) e;
+        let before_rewarm = Igp.Spf.computations () in
+        query_everything ();
+        Alcotest.(check int) "one SPF per node to re-warm" (before_rewarm + 4)
+          (Igp.Spf.computations ());
+        query_everything ();
+        Alcotest.(check int) "free again" (before_rewarm + 4)
+          (Igp.Spf.computations ()));
+    Alcotest.test_case "same-seq divergent LSA is installed and re-flooded" `Quick
+      (fun () ->
+        (* Regression at the flooding layer: r2 holds r1's LSA; a copy
+           with the SAME sequence number but different links arrives. It
+           used to be judged a duplicate and dropped, so downstream nodes
+           (r3, r4) never learned the change. *)
+        let e, r1, r2, r3, r4 = make_network () in
+        ignore r1;
+        let held =
+          match Igp.Database.find (Igp.Node.database r2) (ip "10.0.0.1") with
+          | Some l -> l
+          | None -> Alcotest.fail "r2 never learned r1's LSA"
+        in
+        let divergent =
+          Igp.Lsa.make ~origin:held.Igp.Lsa.origin ~seq:held.Igp.Lsa.seq
+            ~links:(List.map (fun (n, c) -> (n, c + 7)) held.Igp.Lsa.links)
+        in
+        Igp.Node.receive r2 ~from:(ip "10.0.0.1") divergent;
+        Sim.Engine.run ~until:(Sim.Time.of_sec 2.0) e;
+        List.iteri
+          (fun i n ->
+            match Igp.Database.find (Igp.Node.database n) (ip "10.0.0.1") with
+            | Some l ->
+              Alcotest.(check bool)
+                (Fmt.str "node %d holds the re-flooded copy" (i + 2))
+                true (Igp.Lsa.equal l divergent)
+            | None -> Alcotest.fail "origin vanished")
+          [r2; r3; r4]);
+    Test_seed.to_alcotest
+      (QCheck.Test.make ~name:"flooding converges under randomized delays"
+         ~count:40
+         QCheck.(pair (0 -- 9999) (4 -- 7))
+         (fun (seed, n) ->
+           (* Random connected topology, every node flooding with its own
+              randomized per-hop delay: after the dust settles all
+              databases must be equal and (costs being symmetric)
+              distances symmetric. *)
+           let e = Sim.Engine.create ~seed:(Int64.of_int (1 + seed)) () in
+           let rng = Sim.Rng.create ~seed:(Int64.of_int (77 + seed)) in
+           let nodes =
+             Array.init n (fun i ->
+                 Igp.Node.create e
+                   ~router_id:(Net.Ipv4.of_octets 10 0 0 (1 + i))
+                   ~flood_delay:(Sim.Time.of_us (200 + Sim.Rng.int rng 1800))
+                   ())
+           in
+           for i = 1 to n - 1 do
+             (* spanning tree keeps it connected... *)
+             Igp.Node.connect ~a:nodes.(i)
+               ~b:nodes.(Sim.Rng.int rng i)
+               ~cost:(1 + Sim.Rng.int rng 9)
+           done;
+           for _ = 1 to n do
+             (* ...plus a sprinkle of extra links *)
+             let a = Sim.Rng.int rng n and b = Sim.Rng.int rng n in
+             if a <> b then
+               Igp.Node.connect ~a:nodes.(a) ~b:nodes.(b)
+                 ~cost:(1 + Sim.Rng.int rng 9)
+           done;
+           Sim.Engine.run ~until:(Sim.Time.of_sec 5.0) e;
+           let db0 = Igp.Node.database nodes.(0) in
+           Array.for_all
+             (fun nd -> Igp.Database.equal db0 (Igp.Node.database nd))
+             nodes
+           && Array.for_all
+                (fun nd ->
+                  Igp.Node.distance_to nodes.(0) (Igp.Node.router_id nd)
+                  = Igp.Node.distance_to nd (Net.Ipv4.of_octets 10 0 0 1))
+                nodes));
   ]
 
 let suite =

@@ -12,6 +12,7 @@ let () =
          Test_openflow.suite;
          Test_router.suite;
          Test_igp.suite;
+         Test_topo.suite;
          Test_supercharger.suite;
          Test_controller.suite;
          Test_faults.suite;
