@@ -9,6 +9,7 @@
      dune exec bench/main.exe -- ablations    - BFD/flow-mod sweeps + replication
      dune exec bench/main.exe -- extensions   - FIB cache + load balancing (S1)
      dune exec bench/main.exe -- dataplane    - LPM + forwarding throughput
+     dune exec bench/main.exe -- ribscale     - 1M-prefix RIB, 100 skewed peers
      dune exec bench/main.exe -- deployment   - convergence win vs %% supercharged
      dune exec bench/main.exe -- ops          - Bechamel per-operation costs
      dune exec bench/main.exe -- all --quick  - reduced sizes (CI-friendly)
@@ -74,6 +75,26 @@ let run_micro () =
   let rows = Experiments.Rib_bench.run ~sizes () in
   Experiments.Rib_bench.pp_rows Fmt.stdout rows;
   record_json "rib" (Experiments.Rib_bench.to_json rows)
+
+(* ------------------------------------------------------------------ *)
+(* Internet-scale control plane: full-shape table, skewed peer views.  *)
+
+let run_ribscale () =
+  section "Internet-scale RIB - load / churn / storm / peer-down (100 peers)";
+  let sizes = if quick then [50_000; 100_000] else [50_000; 100_000; 1_000_000] in
+  Fmt.pr "sizes: %a; one internet-shape table, sliced per size; best of 3@.@."
+    Fmt.(list ~sep:comma int)
+    sizes;
+  (* The CI-gated sizes run best-of-3 on both the baseline and the
+     quick side; the 1M row (baseline record only, never hard-gated)
+     runs once to keep the full pass affordable. *)
+  let rows = Experiments.Ribscale.run ~sizes:[50_000; 100_000] () in
+  let rows =
+    if quick then rows
+    else rows @ Experiments.Ribscale.run ~sizes:[1_000_000] ~reps:1 ()
+  in
+  Experiments.Ribscale.pp_rows Fmt.stdout rows;
+  record_json "ribscale" (Experiments.Ribscale.to_json rows)
 
 (* ------------------------------------------------------------------ *)
 (* S2: number of backup-groups vs number of peers.                     *)
@@ -442,6 +463,7 @@ let () =
   if want "ablations" then run_ablations ();
   if want "extensions" then run_extensions ();
   if want "dataplane" then run_dataplane ();
+  if want "ribscale" then run_ribscale ();
   if want "deployment" then run_deployment ();
   if want "ops" then run_ops ();
   (match json_file with

@@ -7,10 +7,21 @@
     at most one route per prefix; a re-announcement implicitly replaces
     the previous one.
 
+    Storage is sharded by mask length — 33 tables, one per /0../32 —
+    so an update hashes and (on resize) rehashes only among prefixes of
+    its own length, and per-length occupancy ({!length_histogram}) is
+    readable in O(1) per shard. At full-Internet scale this keeps the
+    dominant /24 band's resizes from churning the thin aggregate bands
+    and shortens every probe chain to same-length prefixes.
+
     A per-peer prefix index is maintained incrementally on every
     announce/withdraw, so a whole-session loss ({!withdraw_peer}) costs
     work proportional to the number of prefixes the peer actually
-    routed — never a scan of the full table. *)
+    routed — never a scan of the full table. The decision process is
+    incremental by construction: an update re-ranks only the touched
+    prefix's candidate splice, and {!candidate_visits} counts the
+    list nodes those splices inspect so tests and benches can pin the
+    bound. *)
 
 type t
 
@@ -61,6 +72,17 @@ val best : t -> Net.Prefix.t -> Route.t option
 
 val cardinal : t -> int
 (** Number of prefixes with at least one candidate. *)
+
+val length_histogram : t -> int array
+(** 33 cells: prefixes currently stored per mask length — the shard
+    occupancy, in the same shape as the workload generators'
+    prefix-length distributions. *)
+
+val candidate_visits : t -> int
+(** Monotonic count of candidate-list nodes inspected by the
+    announce/withdraw splice walks since {!create}. A peer-down must
+    grow this by O(candidates over the failed peer's own prefixes) —
+    the regression tests assert it never approaches table size. *)
 
 val iter : t -> (Net.Prefix.t -> Route.t list -> unit) -> unit
 (** Visits every prefix with its ranked candidates (unspecified

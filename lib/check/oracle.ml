@@ -69,7 +69,26 @@ let alive_candidates t prefix =
         | None -> false)
       rs
 
+let candidates = alive_candidates
+
 let best t prefix = Bgp.Decision.best (alive_candidates t prefix)
+
+let peer_routes t ~peer =
+  ignore (peer_exn t peer);
+  Prefix_table.fold
+    (fun prefix rs acc ->
+      match List.find_opt (fun (r : Bgp.Route.t) -> r.peer_id = peer) rs with
+      | Some r -> (prefix, r.Bgp.Route.attrs) :: acc
+      | None -> acc)
+    t.routes []
+  |> List.sort (fun (p, _) (q, _) -> Net.Prefix.compare p q)
+
+let iter_stored t f = Prefix_table.iter f t.routes
+
+let covered t =
+  Prefix_table.fold
+    (fun prefix _ acc -> if alive_candidates t prefix <> [] then acc + 1 else acc)
+    t.routes 0
 
 let lookup t prefix =
   match best t prefix with

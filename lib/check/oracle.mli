@@ -50,6 +50,25 @@ val alive : t -> int -> bool
 val best : t -> Net.Prefix.t -> Bgp.Route.t option
 (** Best route among alive peers' candidates ({!Bgp.Decision.best}). *)
 
+val candidates : t -> Net.Prefix.t -> Bgp.Route.t list
+(** Every candidate from currently-alive peers, unranked — the
+    decision-process input the differential checker re-ranks naively to
+    compare against the incremental RIB's stored order. *)
+
+val peer_routes : t -> peer:int -> (Net.Prefix.t * Bgp.Attributes.t) list
+(** The peer's stored routes (masked or not), in ascending prefix
+    order — what a recovered session re-announces.
+    @raise Invalid_argument for an undeclared peer. *)
+
+val iter_stored : t -> (Net.Prefix.t -> Bgp.Route.t list -> unit) -> unit
+(** Visits every prefix with at least one {e stored} candidate, masked
+    peers included (unspecified order). The million-prefix sweep uses
+    this instead of the allocating, sorting {!prefixes}. *)
+
+val covered : t -> int
+(** Number of covered prefixes, without building {!prefixes}'s sorted
+    list — O(stored prefixes). *)
+
 val lookup : t -> Net.Prefix.t -> hop option
 (** Where the legacy router would forward the prefix right now; [None]
     when no alive peer routes it. *)

@@ -32,15 +32,23 @@ let create groups =
     passthrough = false;
   }
 
-let distinct_next_hops routes =
-  let rec dedup seen = function
-    | [] -> []
+(* First [k] distinct next hops of the ranked candidates, stopping the
+   walk as soon as [k] are collected: the backup-group key is the
+   [group_size]-truncated tuple, so candidates past the k-th distinct
+   next hop can never influence the announcement. This bounds the
+   per-change scan at O(candidates × group_size) — with 100+ peers
+   contributing candidates for a hot prefix, the old full dedup was
+   quadratic in the candidate count. *)
+let distinct_next_hops ~k routes =
+  let rec dedup found seen = function
+    | [] -> List.rev seen
+    | _ when found >= k -> List.rev seen
     | r :: rest ->
       let nh = Bgp.Route.next_hop r in
-      if List.exists (Net.Ipv4.equal nh) seen then dedup seen rest
-      else nh :: dedup (nh :: seen) rest
+      if List.exists (Net.Ipv4.equal nh) seen then dedup found seen rest
+      else dedup (found + 1) (nh :: seen) rest
   in
-  dedup [] routes
+  dedup 0 [] routes
 
 (* What should be announced, and which backup-group (if any) the
    announcement references. *)
@@ -48,7 +56,7 @@ let desired t (after : Bgp.Route.t list) =
   match after with
   | [] -> (None, None)
   | best :: _ -> (
-    match distinct_next_hops after with
+    match distinct_next_hops ~k:(Backup_group.group_size t.groups) after with
     | [] | [_] -> (Some best.attrs, None)
     | nhs ->
       let binding = Backup_group.find_or_create t.groups nhs in

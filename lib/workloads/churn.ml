@@ -18,6 +18,62 @@ let full_table_race ~seed ~count ~next_hops ~asns =
   in
   List.fold_left Feed.interleave [] feeds
 
+let route_attrs ~asn ~next_hop (e : Rib_gen.entry) =
+  Bgp.Attributes.make
+    ~as_path:[Bgp.Attributes.Seq (asn :: e.as_path)]
+    ?med:e.med ~next_hop ()
+
+let announce_event ~peer ~asn ~next_hop (e : Rib_gen.entry) =
+  { peer;
+    update =
+      { Bgp.Message.withdrawn = []; attrs = Some (route_attrs ~asn ~next_hop e);
+        nlri = [e.prefix] } }
+
+let withdraw_event ~peer (e : Rib_gen.entry) =
+  { peer; update = { Bgp.Message.withdrawn = [e.prefix]; attrs = None; nlri = [] } }
+
+(* A session-reset-shaped withdrawal storm, as a route collector records
+   one: the peer flushes a seeded [share_pct] slice of its table in
+   table order (a long run of pure withdrawals), then — once the session
+   is back — re-announces the same slice, again in table order. *)
+let storm ~seed ~entries ~share_pct ~next_hop ~asn ~peer =
+  if share_pct < 1 || share_pct > 100 then invalid_arg "Churn.storm: share_pct";
+  let rng = Sim.Rng.create ~seed in
+  let victims =
+    Array.to_list entries
+    |> List.filter (fun (_ : Rib_gen.entry) -> Sim.Rng.int rng 100 < share_pct)
+  in
+  List.map (fun e -> withdraw_event ~peer e) victims
+  @ List.map (fun e -> announce_event ~peer ~asn ~next_hop e) victims
+
+(* A route-collector-shaped update train: updates arrive in per-peer
+   bursts with locality — a burst picks one peer and a region of the
+   table, then emits a run of announcements/withdrawals over nearby
+   entries. Roughly 80 % of updates are re-announcements (path churn),
+   20 % withdrawals, matching observed feed composition. *)
+let update_train ~seed ~entries ~next_hops ~asns ~events =
+  if Array.length next_hops <> Array.length asns || Array.length next_hops = 0 then
+    invalid_arg "Churn.update_train: need matching non-empty peer arrays";
+  if Array.length entries = 0 then invalid_arg "Churn.update_train: entries";
+  let rng = Sim.Rng.create ~seed in
+  let n = Array.length entries and n_peers = Array.length next_hops in
+  let out = ref [] and emitted = ref 0 in
+  while !emitted < events do
+    let peer = Sim.Rng.int rng n_peers in
+    let base = Sim.Rng.int rng n in
+    let burst = min (events - !emitted) (1 + Sim.Rng.int rng 32) in
+    for j = 0 to burst - 1 do
+      let e = entries.((base + j) mod n) in
+      let ev =
+        if Sim.Rng.int rng 100 < 20 then withdraw_event ~peer e
+        else announce_event ~peer ~asn:asns.(peer) ~next_hop:next_hops.(peer) e
+      in
+      out := ev :: !out
+    done;
+    emitted := !emitted + burst
+  done;
+  List.rev !out
+
 let flap ~seed ~entries ~rounds ~next_hop ~asn ~peer =
   let rng = Sim.Rng.create ~seed in
   let n = Array.length entries in

@@ -6,6 +6,13 @@ type event = {
   update : Bgp.Message.update;
 }
 
+val route_attrs :
+  asn:Bgp.Asn.t -> next_hop:Net.Ipv4.t -> Rib_gen.entry -> Bgp.Attributes.t
+(** The attributes a peer with [asn] at [next_hop] announces for an
+    entry: itself prepended to the stored path, the entry's MED carried
+    through. The path tail shares the entry's list — callers building
+    10^6-route views must not copy it. *)
+
 val full_table_race : seed:int64 -> count:int -> next_hops:Net.Ipv4.t array ->
   asns:Bgp.Asn.t array -> event list
 (** The paper's micro-benchmark workload: every peer announces the same
@@ -16,3 +23,18 @@ val flap : seed:int64 -> entries:Rib_gen.entry array -> rounds:int ->
   next_hop:Net.Ipv4.t -> asn:Bgp.Asn.t -> peer:int -> event list
 (** Announce/withdraw churn: each round withdraws a random subset and
     re-announces it, exercising Listing 1's withdraw paths. *)
+
+val storm : seed:int64 -> entries:Rib_gen.entry array -> share_pct:int ->
+  next_hop:Net.Ipv4.t -> asn:Bgp.Asn.t -> peer:int -> event list
+(** A session-reset-shaped withdrawal storm: the peer withdraws a seeded
+    [share_pct]-percent slice of [entries] in table order (one long run
+    of pure withdrawals, as route collectors record them), then
+    re-announces the same slice in table order. Bit-identically
+    replayable from the seed. @raise Invalid_argument unless
+    [1 <= share_pct <= 100]. *)
+
+val update_train : seed:int64 -> entries:Rib_gen.entry array ->
+  next_hops:Net.Ipv4.t array -> asns:Bgp.Asn.t array -> events:int -> event list
+(** A route-collector-shaped steady-state train of [events] updates:
+    per-peer bursts (1–32 updates) with table locality, ~80 %
+    re-announcements / 20 % withdrawals. Deterministic in the seed. *)

@@ -24,6 +24,30 @@ let dense_length_table =
     (23, 0.88); (22, 0.93); (21, 0.96); (20, 0.98); (19, 0.99); (18, 1.00);
   |]
 
+(* The full-Internet mix, cumulative, matching the published IPv4 table
+   shape (CIDR report / route-collector snapshots, ~1M prefixes):
+   ~59.5 % /24, a /22-/23 deaggregation band, and a thin aggregate tail
+   reaching /8. Leaves (>= /17, ~98 % of mass) are carved sequentially;
+   aggregates (<= /16) are emitted as *covering* prefixes over the leaf
+   region without consuming address space, reproducing the
+   aggregate+more-specific pairs of the real table. *)
+let internet_length_table =
+  [|
+    (24, 0.595); (23, 0.700); (22, 0.825); (21, 0.880); (20, 0.925);
+    (19, 0.953); (18, 0.970); (17, 0.981); (16, 0.9945); (15, 0.9965);
+    (14, 0.9980); (13, 0.9990); (12, 0.9995); (11, 0.9997); (10, 0.9998);
+    (9, 0.9999); (8, 1.00);
+  |]
+
+(* AS-path hop-count mix (path length without prepending), cumulative.
+   Route-collector feeds put the mode at 4 hops and the mean near 4.4;
+   the tail past 7 hops is thin. *)
+let as_path_length_table =
+  [|
+    (1, 0.005); (2, 0.085); (3, 0.305); (4, 0.615); (5, 0.815);
+    (6, 0.915); (7, 0.965); (8, 0.985); (9, 0.995); (10, 1.00);
+  |]
+
 let sample_length table rng =
   let x = Sim.Rng.float rng 1.0 in
   let rec pick i =
@@ -35,6 +59,10 @@ let sample_length table rng =
 
 let sample_as_path rng =
   let len = 1 + Sim.Rng.int rng 5 in
+  List.init len (fun _ -> Bgp.Asn.of_int (3000 + Sim.Rng.int rng 60000))
+
+let sample_internet_as_path rng =
+  let len = sample_length as_path_length_table rng in
   List.init len (fun _ -> Bgp.Asn.of_int (3000 + Sim.Rng.int rng 60000))
 
 let generate_with ~table ~seed ~count =
@@ -63,6 +91,72 @@ let generate_dense ~seed ~count =
   if count < 0 || count > 2_000_000 then
     invalid_arg "Rib_gen.generate_dense: count";
   generate_with ~table:dense_length_table ~seed ~count
+
+(* Full-Internet tables. Two allocation regimes share one cursor:
+   leaves (>= /17) are carved sequentially exactly like [generate_with];
+   aggregates (<= /16) take the cursor's aligned enclosing block of the
+   sampled length *without advancing it*, so they cover the leaves being
+   carved there — or, when that block was already emitted, probe forward
+   block by block to the next free one (still covering future leaves).
+   Uniqueness: leaves never collide (disjoint spans), aggregates are
+   deduplicated per (length, network), and a leaf never equals an
+   aggregate (different mask lengths). *)
+let generate_internet ~seed ~count =
+  if count < 0 || count > 1_200_000 then
+    invalid_arg "Rib_gen.generate_internet: count";
+  let rng = Sim.Rng.create ~seed in
+  let cursor = ref (Int64.of_int (Net.Ipv4.diff (Net.Ipv4.of_octets 1 0 0 0) Net.Ipv4.any)) in
+  let aggregates = Hashtbl.create 4096 in
+  Array.init count (fun _ ->
+      let len = sample_length internet_length_table rng in
+      let size = Int64.of_int (1 lsl (32 - len)) in
+      let network =
+        if len >= 17 then begin
+          let rem = Int64.rem !cursor size in
+          let aligned =
+            if Int64.equal rem 0L then !cursor else Int64.add !cursor (Int64.sub size rem)
+          in
+          cursor := Int64.add aligned size;
+          aligned
+        end
+        else begin
+          (* Aligned block containing (or following) the leaf cursor. *)
+          let block = ref (Int64.mul (Int64.div !cursor size) size) in
+          while Hashtbl.mem aggregates (len, !block) do
+            block := Int64.add !block size
+          done;
+          Hashtbl.replace aggregates (len, !block) ();
+          !block
+        end
+      in
+      if Int64.compare !cursor 0xE000_0000L > 0 then
+        failwith "Rib_gen.generate_internet: address space exhausted";
+      let prefix = Net.Prefix.make (Net.Ipv4.of_int32 (Int64.to_int32 network)) len in
+      let med = if Sim.Rng.int rng 10 = 0 then Some (Sim.Rng.int rng 100) else None in
+      { prefix; as_path = sample_internet_as_path rng; med })
+
+(* --- skewed peer views ------------------------------------------------- *)
+
+(* Table overlap across peers is heavily skewed in practice: one or two
+   transit feeds carry (nearly) the full table, the rest export customer
+   cones orders of magnitude smaller. Peer 0 is the full feed; peer i
+   covers ~100/(i+1)^2 percent with a 1 % floor, so a 100-peer set
+   carries ~2.5 full-table equivalents in total. *)
+let view_share ~peers peer =
+  if peer < 0 || peer >= peers then invalid_arg "Rib_gen.view_share: peer";
+  if peer = 0 then 100
+  else max 1 (100 / ((peer + 1) * (peer + 1)))
+
+(* Deterministic membership without RNG state: a fixed integer mix of
+   (peer, index), so any slice of any peer's view can be reproduced
+   independently of evaluation order. *)
+let in_view ~peer ~share_pct index =
+  share_pct >= 100
+  || begin
+    let h = (index * 0x9E3779B1) lxor ((peer + 1) * 0x85EBCA77) in
+    let h = (h lxor (h lsr 13)) * 0xC2B2AE35 in
+    ((h lsr 7) land 0xFFFFFF) mod 100 < share_pct
+  end
 
 let to_updates entries ~speaker_asn ~next_hop =
   Array.fold_right

@@ -25,6 +25,28 @@ val generate_dense : seed:int64 -> count:int -> entry array
     lookup structures to, beyond what the RIB-shaped mix can reach.
     @raise Invalid_argument beyond 2 M entries. *)
 
+val generate_internet : seed:int64 -> count:int -> entry array
+(** The full-Internet shape: prefix lengths follow the published IPv4
+    table mix (~59.5 % /24, a /22–/23 deaggregation band, an aggregate
+    tail to /8) and AS-path hop counts follow the route-collector
+    distribution (mode 4, mean ≈ 4.4). Aggregates (/8–/16) are emitted
+    as {e covering} prefixes over the sequentially carved more-specific
+    leaves, reproducing the aggregate + more-specific pairs of the real
+    table. All prefixes are unique; deterministic in the seed.
+    @raise Invalid_argument beyond 1.2 M entries. *)
+
+val view_share : peers:int -> int -> int
+(** Skewed table-overlap model for a [peers]-strong neighbor set:
+    percentage of the table peer [i] exports. Peer 0 is a full transit
+    feed (100); peer [i] covers [max 1 (100/(i+1)²)] — a 100-peer set
+    carries ≈ 2.5 full-table equivalents in total. *)
+
+val in_view : peer:int -> share_pct:int -> int -> bool
+(** Whether entry [index] belongs to the peer's exported view under a
+    [share_pct]-percent share. A pure deterministic mix of
+    [(peer, index)] — no RNG state — so any slice of any view is
+    reproducible independently of evaluation order. *)
+
 val to_updates :
   entry array ->
   speaker_asn:Bgp.Asn.t ->

@@ -22,5 +22,6 @@ let () =
          Test_core_units.suite;
          Test_codecs.suite;
          Test_check.suite;
+         Test_ribscale.suite;
          Test_lint.suite;
        ])

@@ -146,9 +146,164 @@ let churn_tests =
           events);
   ]
 
+(* Statistical shape of the internet-scale generators: distributions
+   within tolerance of the published IPv4 table, and bit-identical
+   seed replay for the churn storms. *)
+let internet_tests =
+  let sample = lazy (Workloads.Rib_gen.generate_internet ~seed:3L ~count:50_000) in
+  [
+    Alcotest.test_case "generate_internet is unique and deterministic" `Quick
+      (fun () ->
+        let entries = Lazy.force sample in
+        let tbl = Hashtbl.create 100_000 in
+        Array.iter
+          (fun (e : Workloads.Rib_gen.entry) ->
+            let key = Net.Prefix.to_string e.prefix in
+            if Hashtbl.mem tbl key then Alcotest.failf "duplicate %s" key;
+            Hashtbl.replace tbl key ())
+          entries;
+        let again = Workloads.Rib_gen.generate_internet ~seed:3L ~count:1_000 in
+        Array.iteri
+          (fun i (e : Workloads.Rib_gen.entry) ->
+            Alcotest.(check bool) "same prefix" true
+              (Net.Prefix.equal e.prefix entries.(i).Workloads.Rib_gen.prefix))
+          again);
+    Alcotest.test_case "prefix-length histogram matches the published mix" `Quick
+      (fun () ->
+        let entries = Lazy.force sample in
+        let n = float_of_int (Array.length entries) in
+        let hist = Array.make 33 0 in
+        Array.iter
+          (fun (e : Workloads.Rib_gen.entry) ->
+            let len = Net.Prefix.length e.prefix in
+            Alcotest.(check bool) "within /8../24" true (len >= 8 && len <= 24);
+            hist.(len) <- hist.(len) + 1)
+          entries;
+        let share len = float_of_int hist.(len) /. n in
+        let s24 = share 24 in
+        Alcotest.(check bool) (Fmt.str "/24 share %.3f in [0.57,0.62]" s24) true
+          (s24 > 0.57 && s24 < 0.62);
+        let band = share 22 +. share 23 in
+        Alcotest.(check bool)
+          (Fmt.str "/22-/23 deaggregation band %.3f in [0.20,0.26]" band)
+          true
+          (band > 0.20 && band < 0.26);
+        let tail = ref 0.0 in
+        for len = 8 to 15 do
+          tail := !tail +. share len
+        done;
+        Alcotest.(check bool) (Fmt.str "aggregate tail %.4f < 0.01" !tail) true
+          (!tail < 0.01))
+    ;
+    Alcotest.test_case "AS-path lengths match the collector distribution" `Quick
+      (fun () ->
+        let entries = Lazy.force sample in
+        let n = float_of_int (Array.length entries) in
+        let total = ref 0 and len4 = ref 0 in
+        Array.iter
+          (fun (e : Workloads.Rib_gen.entry) ->
+            let l = List.length e.as_path in
+            Alcotest.(check bool) "within 1..10" true (l >= 1 && l <= 10);
+            total := !total + l;
+            if l = 4 then incr len4)
+          entries;
+        let mean = float_of_int !total /. n in
+        Alcotest.(check bool) (Fmt.str "mean %.2f in [4.0,4.8]" mean) true
+          (mean > 4.0 && mean < 4.8);
+        let mode_share = float_of_int !len4 /. n in
+        Alcotest.(check bool)
+          (Fmt.str "len-4 mode share %.3f in [0.25,0.37]" mode_share)
+          true
+          (mode_share > 0.25 && mode_share < 0.37));
+    Alcotest.test_case "aggregates cover more-specific leaves" `Quick (fun () ->
+        let entries = Lazy.force sample in
+        let aggregates =
+          Array.to_list entries
+          |> List.filter_map (fun (e : Workloads.Rib_gen.entry) ->
+                 if Net.Prefix.length e.prefix <= 16 then Some e.prefix else None)
+        in
+        Alcotest.(check bool) "some aggregates" true (List.length aggregates > 50);
+        let covered =
+          Array.fold_left
+            (fun acc (e : Workloads.Rib_gen.entry) ->
+              if
+                Net.Prefix.length e.prefix >= 17
+                && List.exists (Net.Prefix.subset e.prefix) aggregates
+              then acc + 1
+              else acc)
+            0
+            (Array.sub entries 0 5_000)
+        in
+        Alcotest.(check bool)
+          (Fmt.str "covering pairs exist (%d in first 5k leaves)" covered)
+          true (covered > 10));
+    Alcotest.test_case "view_share is a skewed, floored tail" `Quick (fun () ->
+        Alcotest.(check int) "peer 0 full feed" 100
+          (Workloads.Rib_gen.view_share ~peers:100 0);
+        let prev = ref 100 in
+        for peer = 1 to 99 do
+          let s = Workloads.Rib_gen.view_share ~peers:100 peer in
+          Alcotest.(check bool) "monotone nonincreasing" true (s <= !prev);
+          Alcotest.(check bool) "floored at 1" true (s >= 1);
+          prev := s
+        done;
+        Alcotest.(check int) "tail floor" 1 (Workloads.Rib_gen.view_share ~peers:100 99));
+    Alcotest.test_case "in_view hits its share within tolerance" `Quick (fun () ->
+        let share = Workloads.Rib_gen.view_share ~peers:100 3 in
+        let hits = ref 0 in
+        for i = 0 to 19_999 do
+          if Workloads.Rib_gen.in_view ~peer:3 ~share_pct:share i then incr hits
+        done;
+        let got = float_of_int !hits /. 200.0 in
+        Alcotest.(check bool)
+          (Fmt.str "peer 3 share %.1f%% near %d%%" got share)
+          true
+          (got > float_of_int share -. 1.5 && got < float_of_int share +. 1.5));
+    Alcotest.test_case "storm replays bit-identically from its seed" `Quick
+      (fun () ->
+        let entries = Workloads.Rib_gen.generate_internet ~seed:5L ~count:2_000 in
+        let mk seed =
+          Workloads.Churn.storm ~seed ~entries ~share_pct:30
+            ~next_hop:(Net.Ipv4.of_octets 10 0 0 2) ~asn:(Bgp.Asn.of_int 65002)
+            ~peer:0
+        in
+        Alcotest.(check bool) "same seed, same storm" true (mk 11L = mk 11L);
+        Alcotest.(check bool) "different seed, different storm" false
+          (mk 11L = mk 12L);
+        let withdraws, announces =
+          List.partition
+            (fun (e : Workloads.Churn.event) -> e.update.Bgp.Message.withdrawn <> [])
+            (mk 11L)
+        in
+        Alcotest.(check int) "withdraw run then re-announce run"
+          (List.length withdraws) (List.length announces));
+    Alcotest.test_case "update_train is bursty, 80/20, deterministic" `Quick
+      (fun () ->
+        let entries = Workloads.Rib_gen.generate_internet ~seed:5L ~count:2_000 in
+        let next_hops = Array.init 8 (fun i -> Net.Ipv4.of_octets 10 0 0 (2 + i)) in
+        let asns = Array.init 8 (fun i -> Bgp.Asn.of_int (65002 + i)) in
+        let mk seed =
+          Workloads.Churn.update_train ~seed ~entries ~next_hops ~asns ~events:5_000
+        in
+        let train = mk 13L in
+        Alcotest.(check int) "exact event count" 5_000 (List.length train);
+        Alcotest.(check bool) "deterministic" true (train = mk 13L);
+        let withdraws =
+          List.length
+            (List.filter
+               (fun (e : Workloads.Churn.event) ->
+                 e.update.Bgp.Message.withdrawn <> [])
+               train)
+        in
+        let share = float_of_int withdraws /. 5_000.0 in
+        Alcotest.(check bool) (Fmt.str "withdraw share %.2f near 0.20" share) true
+          (share > 0.15 && share < 0.25));
+  ]
+
 let suite =
   [
     ("workloads.rib_gen", rib_gen_tests);
+    ("workloads.internet", internet_tests);
     ("workloads.feed", feed_tests);
     ("workloads.churn", churn_tests);
   ]
