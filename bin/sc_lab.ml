@@ -478,7 +478,7 @@ let lint_cmd =
     Arg.(
       value
       & opt (some string) None
-      & info ["json"] ~docv:"FILE" ~doc:"Also write the report as JSON (schema lint/v1).")
+      & info ["json"] ~docv:"FILE" ~doc:"Also write the report as JSON (schema lint/v2).")
   in
   let strict_arg =
     Arg.(
@@ -486,25 +486,108 @@ let lint_cmd =
       & info ["strict"]
           ~doc:"Exit non-zero on warnings (e.g. missing-mli) too, not just errors.")
   in
-  let run root json strict =
-    let report = Lint.Engine.scan_tree root in
+  let inventory_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info ["inventory"] ~docv:"FILE"
+          ~doc:
+            "Compare the committed mutable-state inventory (schema \
+             lint/state-v1) against a fresh one; exit 3 and rewrite FILE on \
+             divergence so the diff is reviewable.")
+  in
+  let only_arg =
+    Arg.(
+      value & opt_all string []
+      & info ["only"] ~docv:"RULE"
+          ~doc:"Run only the named rule(s) (repeatable). parse-error always surfaces.")
+  in
+  let except_arg =
+    Arg.(
+      value & opt_all string []
+      & info ["except"] ~docv:"RULE" ~doc:"Skip the named rule(s) (repeatable).")
+  in
+  let cache_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info ["cache"] ~docv:"FILE"
+          ~doc:"Facts-cache file (default: ROOT/_build/sc_lint.cache).")
+  in
+  let no_cache_arg =
+    Arg.(
+      value & flag
+      & info ["no-cache"] ~doc:"Re-parse every file; neither read nor write the cache.")
+  in
+  (* Exit codes: 0 clean; 1 findings (errors, or warnings under
+     --strict); 2 a file failed to parse; 3 inventory drift. Parse
+     failure wins over findings, findings over drift: a tree that can't
+     be read can't be trusted about anything else. *)
+  let run root json strict inventory only except cache no_cache =
+    let unknown =
+      List.filter
+        (fun r -> not (List.mem r Lint.Engine.all_rule_ids))
+        (only @ except)
+    in
+    if unknown <> [] then begin
+      Fmt.epr "unknown rule(s): %a; known: %a@."
+        Fmt.(list ~sep:comma string)
+        unknown
+        Fmt.(list ~sep:comma string)
+        Lint.Engine.all_rule_ids;
+      exit 2
+    end;
+    let only = match only with [] -> None | rs -> Some rs in
+    let cache =
+      if no_cache then None
+      else
+        Some
+          (match cache with
+          | Some p -> p
+          | None -> Filename.concat root "_build/sc_lint.cache")
+    in
+    let report = Lint.Engine.scan_tree ?cache ?only ~except root in
     Lint.Engine.pp_report Fmt.stdout report;
     (match json with
     | Some path ->
       Obs.Json.to_file path (Lint.Engine.to_json report);
       Fmt.pr "json written to %s@." path
     | None -> ());
+    let drift =
+      match inventory with
+      | None -> false
+      | Some path -> (
+        match Lint.State.check ~committed_path:path report.Lint.Engine.index with
+        | Lint.State.Fresh_matches ->
+          Fmt.pr "inventory %s is current@." path;
+          false
+        | Lint.State.Missing_committed | Lint.State.Diverged ->
+          Lint.State.write ~path report.Lint.Engine.index;
+          Fmt.pr
+            "inventory drift: %s rewritten from the tree; review and commit \
+             the diff@."
+            path;
+          true)
+    in
     let errors = Lint.Engine.errors report in
     let warnings = Lint.Engine.warnings report in
-    if errors > 0 || (strict && warnings > 0) then exit 1
+    if Lint.Engine.has_parse_errors report then exit 2
+    else if errors > 0 || (strict && warnings > 0) then exit 1
+    else if drift then exit 3
   in
   Cmd.v
     (Cmd.info "lint"
        ~doc:
-         "Static analysis enforcing the determinism & comparison discipline \
-          (no ambient RNG/clock, no polymorphic compare on net types, no \
-          hash-ordered output, no wildcard on closed event variants).")
-    Term.(const run $ root_arg $ json_arg $ strict_arg)
+         "Static analysis enforcing the determinism, comparison and \
+          domain-safety discipline: per-file rules (no ambient RNG/clock, no \
+          polymorphic compare on net types, no hash-ordered output, no \
+          wildcard on closed event variants) plus whole-program passes \
+          (no-shared-mutable-global, cross-domain-unsafe, hot-path-alloc). \
+          Exit codes: 0 clean, 1 findings, 2 parse error or bad --only/--except, \
+          3 inventory drift.")
+    Term.(
+      const run $ root_arg $ json_arg $ strict_arg $ inventory_arg $ only_arg
+      $ except_arg $ cache_arg $ no_cache_arg)
 
 let () =
   let default = Term.(ret (const (`Help (`Pager, None)))) in

@@ -284,7 +284,11 @@ let interpret rig (gt : ground_truth) ev =
 
 let checkpoint_every = 8
 
-let execute ?(mutate = false) (sched : Schedule.t) =
+let[@lint.domain_entry
+     "checker schedule runner: ROADMAP item 4 fans the schedule matrix out \
+      one schedule per domain; everything below this frame must be \
+      domain-confined or guarded"] execute ?(mutate = false) (sched : Schedule.t)
+    =
   let rig = make_rig sched in
   if mutate then Prov.mutate_skip_rewrite (C.provisioner rig.controller) true;
   let gt = Array.make_matrix sched.n_peers sched.n_prefixes None in

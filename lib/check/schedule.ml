@@ -42,6 +42,9 @@ let pp ppf t =
     t.steps
 
 let prefs = [| 100; 150; 200 |]
+[@@lint.domain_local
+  "constant local-pref palette, written nowhere; array literal only for cheap \
+   indexed draws"]
 
 let generate ~seed ?(n_peers = 3) ?(n_prefixes = 12) ?(length = 30) ?(chaos = true)
     () =

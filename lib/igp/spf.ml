@@ -13,16 +13,20 @@ type entry = {
 type table = {
   source : Net.Ipv4.t;
   entries : entry Ip_table.t;
+  serial : int;  (* ordinal of the run that produced this table, from 1 *)
 }
 
 (* Process-wide count of Dijkstra runs. The regression tests use it to
    pin down the "one SPF per database change" contract: querying a
-   node's distances must not re-run the algorithm. *)
-let computed = ref 0
-let computations () = !computed
+   node's distances must not re-run the algorithm. Atomic so per-router
+   SPF recomputation can move onto separate domains (ROADMAP item 4)
+   without the counter racing; everything else SPF produces lives in
+   the per-run [table]. *)
+let computed = Atomic.make 0
+let computations () = Atomic.get computed
 
 let compute ~source ~lsas =
-  incr computed;
+  let serial = 1 + Atomic.fetch_and_add computed 1 in
   (* Index the freshest LSA per origin. *)
   let db = Ip_table.create 16 in
   List.iter
@@ -71,9 +75,10 @@ let compute ~source ~lsas =
       loop ()
   in
   loop ();
-  { source; entries }
+  { source; entries; serial }
 
 let source t = t.source
+let serial t = t.serial
 let distance t target = Option.map (fun e -> e.dist) (Ip_table.find_opt t.entries target)
 
 let first_hop t target =

@@ -1,0 +1,52 @@
+(* Digest-keyed facts cache.
+
+   [Index.file_facts] is plain data (strings, ints, diagnostics), so it
+   marshals safely; the whole-program passes rebuild from facts without
+   touching an AST. A warm re-run therefore digests each file (cheap)
+   and parses nothing.
+
+   The cache is advisory: any read problem — missing file, truncated
+   marshal, a layout change between linter versions — degrades to a
+   cold run. [version] must be bumped whenever [Index.file_facts] or
+   anything marshalled inside it changes shape, since Marshal has no
+   schema of its own. *)
+
+let version = "sc_lint-cache-v2"
+
+type t = (string, Index.file_facts) Hashtbl.t
+
+let empty () : t = Hashtbl.create 64
+
+let load path : t =
+  if not (Sys.file_exists path) then empty ()
+  else
+    match
+      let ic = open_in_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          let v : string = Marshal.from_channel ic in
+          if not (String.equal v version) then empty ()
+          else (Marshal.from_channel ic : t))
+    with
+    | cache -> cache
+    | exception _ -> empty ()
+
+let save path (cache : t) =
+  let dir = Filename.dirname path in
+  if Sys.file_exists dir && Sys.is_directory dir then begin
+    let oc = open_out_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () ->
+        Marshal.to_channel oc version [];
+        Marshal.to_channel oc cache [])
+  end
+
+let find (cache : t) ~file ~digest =
+  match Hashtbl.find_opt cache file with
+  | Some ff when String.equal ff.Index.ff_digest digest -> Some ff
+  | _ -> None
+
+let add (cache : t) (ff : Index.file_facts) =
+  Hashtbl.replace cache ff.Index.ff_file ff

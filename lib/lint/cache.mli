@@ -1,0 +1,23 @@
+(** Digest-keyed cache of {!Index.file_facts}.
+
+    Facts are plain data, so a warm [sc_lab lint] re-run digests each
+    file, loads its facts, and parses nothing — the whole-program
+    passes rebuild from facts alone. The cache is advisory: version
+    mismatch, truncation, or any read error degrades to a cold run.
+    Marshal carries no schema, so {!version} must be bumped whenever
+    the facts layout changes. *)
+
+type t
+
+val version : string
+val empty : unit -> t
+
+val load : string -> t
+(** Never raises; any problem yields an empty cache. *)
+
+val save : string -> t -> unit
+(** Writes only if the target directory exists (it is usually
+    [_build/], which dune owns). *)
+
+val find : t -> file:string -> digest:string -> Index.file_facts option
+val add : t -> Index.file_facts -> unit

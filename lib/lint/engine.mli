@@ -1,37 +1,73 @@
-(** Driving the lint pass: parsing, tree walking, reports.
+(** Driving the lint pass: parsing, the facts cache, whole-program
+    assembly, reports.
 
     Parsing uses the compiler's own front end ([Pparse] for on-disk
     files, [Parse] for in-memory fixtures), so anything the compiler
     accepts, the linter accepts — no new dependency and no second
-    grammar. Fixtures only need to parse, not typecheck. *)
+    grammar. Fixtures only need to parse, not typecheck.
 
-val lint_source : file:string -> string -> Diagnostic.t list
-(** [lint_source ~file src] lints an in-memory implementation. [file]
-    is the pretend path used for rule scoping (e.g.
-    ["lib/core/controller.ml"]). A syntax error yields a single
-    [parse-error] diagnostic rather than an exception. *)
+    Each file is parsed {e exactly once}: {!Index.extract} runs the
+    per-file rules and the whole-program fact extraction over the same
+    AST, and the {!Passes} stage works from facts alone. With a cache
+    ({!scan_tree}'s [?cache]), unchanged files are not parsed at all. *)
 
-val lint_file : ?root:string -> string -> Diagnostic.t list
-(** [lint_file ?root path] lints [root]/[path] ([root] defaults to
-    ["."]). Diagnostics carry [path] as their file. *)
+val rule_parse : string
+val rule_mli : string
+
+val all_rule_ids : string list
+(** Every rule id the linter can emit (per-file, whole-program,
+    annotation, infrastructure), sorted — the vocabulary for
+    [--only]/[--except] validation. *)
 
 type report = {
   files : int;  (** implementation files linted *)
+  cache_hits : int;  (** files whose facts came from the cache *)
   diagnostics : Diagnostic.t list;  (** sorted, suppressions removed *)
+  index : Index.t;  (** for the inventory ({!State}) *)
 }
 
 val errors : report -> int
 val warnings : report -> int
 
-val scan_tree : ?dirs:string list -> string -> report
+val has_parse_errors : report -> bool
+(** Distinguishes "the tree has findings" from "the tree could not even
+    be read" for the exit-code table. *)
+
+val lint_source : file:string -> string -> Diagnostic.t list
+(** [lint_source ~file src] lints an in-memory implementation,
+    including the whole-program passes over that single file. [file] is
+    the pretend path used for rule scoping (e.g.
+    ["lib/core/controller.ml"]). A syntax error yields a single
+    [parse-error] diagnostic rather than an exception. *)
+
+val lint_sources :
+  ?only:string list -> ?except:string list -> (string * string) list -> report
+(** Multi-file in-memory lint: the files share one index, so fixtures
+    can exercise cross-module reachability and partial-application
+    checks. *)
+
+val lint_file : ?root:string -> string -> Diagnostic.t list
+(** [lint_file ?root path] lints [root]/[path] ([root] defaults to
+    ["."]). Diagnostics carry [path] as their file. *)
+
+val scan_tree :
+  ?dirs:string list ->
+  ?cache:string ->
+  ?only:string list ->
+  ?except:string list ->
+  string ->
+  report
 (** [scan_tree root] lints every [*.ml] under [root]/[dirs] (default
-    [["lib"; "bin"]], recursively, in sorted order) and additionally
-    reports a warning-level [missing-mli] diagnostic for any [lib/]
-    module without an interface file. *)
+    [["lib"; "bin"]], recursively, in sorted order), runs the
+    whole-program passes, and additionally reports a warning-level
+    [missing-mli] diagnostic for any [lib/] module without an
+    interface file. [?cache] names the facts-cache file to read and
+    rewrite. [?only]/[?except] select rules by id; [parse-error] always
+    surfaces. *)
 
 val to_json : report -> Obs.Json.t
-(** Schema [lint/v1]: counts plus the sorted diagnostic list —
-    byte-stable across runs. *)
+(** Schema [lint/v2]: counts (including [cache_hits]) plus the sorted
+    diagnostic list — byte-stable across runs. *)
 
 val pp_report : Format.formatter -> report -> unit
 (** Every diagnostic, one per line, then a one-line summary. *)

@@ -15,7 +15,7 @@ let rule_ids =
 (* ------------------------------------------------------------------ *)
 (* Pass state *)
 
-type allow = { a_rules : SS.t; a_from : int; a_to : int }
+type allow = { a_rules : string list; a_from : int; a_to : int }
 
 (* One frame per enclosing value binding; rule 3 looks at the whole
    stack, so a fold in a helper [let] inside [to_json] is still seen as
@@ -269,7 +269,7 @@ let record_allow t ~loc ~whole_file (attr : attribute) =
       let a_to =
         if whole_file then max_int else loc.Location.loc_end.Lexing.pos_lnum
       in
-      t.allows <- { a_rules = SS.of_list rules; a_from; a_to } :: t.allows
+      t.allows <- { a_rules = rules; a_from; a_to } :: t.allows
     | None ->
       report t ~loc:attr.attr_loc ~rule:rule_allow ~severity:Diagnostic.Error
         "[@lint.allow] payload must be a string literal (or a tuple of them) \
@@ -279,13 +279,15 @@ let record_allow t ~loc ~whole_file (attr : attribute) =
 let record_allows t ~loc attrs =
   List.iter (record_allow t ~loc ~whole_file:false) attrs
 
-let suppressed t (d : Diagnostic.t) =
+let allow_covers allows (d : Diagnostic.t) =
   List.exists
     (fun a ->
       d.Diagnostic.line >= a.a_from
       && d.Diagnostic.line <= a.a_to
-      && (SS.mem d.Diagnostic.rule a.a_rules || SS.mem "all" a.a_rules))
-    t.allows
+      && (List.mem d.Diagnostic.rule a.a_rules || List.mem "all" a.a_rules))
+    allows
+
+let suppressed t d = allow_covers t.allows d
 
 (* ------------------------------------------------------------------ *)
 (* The main expression checks *)
@@ -415,7 +417,7 @@ let make file =
     frames = [];
   }
 
-let run ~file structure =
+let run_collect ~file structure =
   let t = make file in
   t.local_defs <- collect_local_defs structure;
   let default = Ast_iterator.default_iterator in
@@ -444,6 +446,11 @@ let run ~file structure =
   in
   let it = { default with expr; value_binding; structure_item } in
   it.structure it structure;
-  t.diags
-  |> List.filter (fun d -> not (suppressed t d))
-  |> List.sort_uniq Diagnostic.compare
+  let diags =
+    t.diags
+    |> List.filter (fun d -> not (suppressed t d))
+    |> List.sort_uniq Diagnostic.compare
+  in
+  (diags, t.allows)
+
+let run ~file structure = fst (run_collect ~file structure)

@@ -34,6 +34,27 @@
 val rule_ids : string list
 (** Every rule id this pass can emit, sorted. *)
 
+type allow = { a_rules : string list; a_from : int; a_to : int }
+(** One [[@lint.allow]] range: the named rules are suppressed on lines
+    [a_from]..[a_to] inclusive ([a_to = max_int] for a whole-file
+    [[@@@lint.allow]]). *)
+
+val allow_covers : allow list -> Diagnostic.t -> bool
+(** Does any recorded allow range suppress this diagnostic? Shared with
+    the whole-program passes ({!Index}), which produce diagnostics long
+    after the per-file iterator ran. *)
+
+val nondet_reason : string list -> string option
+(** [nondet_reason path] is the reason a (Stdlib-stripped) dotted path
+    is an ambient-nondeterminism source, if it is one. Exposed for
+    {!Index}, which records these sites for cross-domain reachability. *)
+
+val run_collect :
+  file:string -> Parsetree.structure -> Diagnostic.t list * allow list
+(** Like {!run}, but also returns the [[@lint.allow]] ranges collected
+    on the way, so callers layering whole-program rules on top can apply
+    the same suppression. *)
+
 val run : file:string -> Parsetree.structure -> Diagnostic.t list
 (** [run ~file ast] returns the diagnostics for one parsed file, with
     [[@lint.allow]]-suppressed findings already removed, sorted per

@@ -1,0 +1,36 @@
+(** The committed mutable-state inventory ([LINT_STATE.json], schema
+    [lint/state-v1]).
+
+    One entry per module-level mutable value in [lib/], sorted by
+    qualified name, with its kind and concurrency classification —
+    and, where relevant, the guard name or domain-local rationale.
+    Locations are omitted so unrelated edits never churn the file; a
+    diff in review means the set of shared state actually changed.
+
+    CI regenerates the inventory and fails on divergence, so a new
+    unguarded global cannot land silently. *)
+
+val schema : string
+
+type entry = {
+  qname : string;
+  file : string;
+  kind : string;
+  classification : Index.classification;
+}
+
+val entries : Index.t -> entry list
+(** Sorted by [qname]. *)
+
+val unguarded : entry list -> int
+
+val to_json : Index.t -> Obs.Json.t
+val render : Index.t -> string
+(** The exact bytes of a fresh LINT_STATE.json (newline-terminated). *)
+
+type drift = Fresh_matches | Missing_committed | Diverged
+
+val check : committed_path:string -> Index.t -> drift
+(** Byte-compare the committed inventory against a fresh render. *)
+
+val write : path:string -> Index.t -> unit

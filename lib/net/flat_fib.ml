@@ -230,7 +230,7 @@ let remove t prefix =
    wins, and the returned ['a option] is the one stored at insert time
    — no allocation, no closure, no prefix reconstruction. Indices are
    masked to their level's width, so unsafe_get cannot escape. *)
-let lookup_value t addr =
+let[@lint.zero_alloc] lookup_value t addr =
   let a = u32 addr in
   let i0 = a lsr 16 in
   let c1 = Array.unsafe_get t.root_children i0 in
@@ -286,7 +286,7 @@ let lookup t addr =
   | None -> None
   | Some v -> Some (Prefix.make addr !best_plen, v)
 
-let lookup_batch t addrs out =
+let[@lint.zero_alloc] lookup_batch t addrs out =
   let n = Array.length addrs in
   if Array.length out < n then
     invalid_arg "Flat_fib.lookup_batch: output array shorter than input";

@@ -33,6 +33,10 @@ let flow_mod ?(cookie = 0L) ?(priority = 100) command ofmatch actions =
 
 type slot = {
   entry : entry;
+  some_entry : entry option;
+      (* the shared-Some-cell idiom (see Net.Flat_fib): the [Some] is
+         allocated once at install time, so hot-path lookups return this
+         stored cell instead of wrapping [entry] per packet *)
   mutable live : bool;
 }
 
@@ -136,7 +140,7 @@ let add t fm =
       packets = 0;
     }
   in
-  let slot = { entry; live = true } in
+  let slot = { entry; some_entry = Some entry; live = true } in
   bucket_push (bucket_for t fm.fm_priority) slot;
   Strict_index.replace t.index key slot;
   t.size <- t.size + 1
@@ -212,44 +216,54 @@ let lookup t ctx =
 
 (* Batched lookup: resolving the priority list and its hashtable
    probes once per burst instead of once per packet. The snapshot is an
-   array of live buckets in descending-priority order; each packet then
-   scans plain arrays. *)
-let bucket_snapshot t =
+   array of live buckets in descending-priority order (the one
+   amortized per-burst allocation); each packet then scans plain
+   arrays. *)
+type snapshot = bucket array
+
+let snapshot t =
   Array.of_list
     (List.filter_map (fun p -> Hashtbl.find_opt t.buckets p) t.priorities)
 
-let scan_snapshot snapshot ctx =
-  let nb = Array.length snapshot in
-  let rec go bi si =
-    if bi >= nb then None
+(* Top-level recursion rather than a nested [go] closure: the scan runs
+   once per packet and must not capture. Bounds: [bi] is checked
+   against the snapshot length and [si] against the bucket's live
+   length before every unsafe read. *)
+let[@lint.zero_alloc] rec scan_from snapshot ctx bi si =
+  if bi >= Array.length snapshot then None
+  else begin
+    let b = Array.unsafe_get snapshot bi in
+    if si >= b.len then scan_from snapshot ctx (bi + 1) 0
     else begin
-      let b = snapshot.(bi) in
-      if si >= b.len then go (bi + 1) 0
-      else begin
-        let slot = b.slots.(si) in
-        if slot.live && Ofmatch.matches slot.entry.ofmatch ctx then
-          Some slot.entry
-        else go bi (si + 1)
-      end
+      let slot = Array.unsafe_get b.slots si in
+      if slot.live && Ofmatch.matches slot.entry.ofmatch ctx then
+        slot.some_entry
+      else scan_from snapshot ctx bi (si + 1)
     end
-  in
-  go 0 0
+  end
 
-let peek_batch t ctxs =
-  let snapshot = bucket_snapshot t in
-  Array.map (fun ctx -> scan_snapshot snapshot ctx) ctxs
+let[@lint.zero_alloc] snapshot_peek snapshot ctx = scan_from snapshot ctx 0 0
 
-let lookup_batch t ctxs =
+let[@lint.zero_alloc] peek_batch t ctxs out =
+  if Array.length out < Array.length ctxs then
+    invalid_arg "Flow_table.peek_batch: output array shorter than input";
+  let snapshot = snapshot t in
+  for i = 0 to Array.length ctxs - 1 do
+    Array.unsafe_set out i (scan_from snapshot (Array.unsafe_get ctxs i) 0 0)
+  done
+
+let[@lint.zero_alloc] lookup_batch t ctxs out =
+  if Array.length out < Array.length ctxs then
+    invalid_arg "Flow_table.lookup_batch: output array shorter than input";
   t.lookups <- t.lookups + Array.length ctxs;
-  let snapshot = bucket_snapshot t in
-  Array.map
-    (fun ctx ->
-      match scan_snapshot snapshot ctx with
-      | None -> None
-      | Some e ->
-        e.packets <- e.packets + 1;
-        Some e)
-    ctxs
+  let snapshot = snapshot t in
+  for i = 0 to Array.length ctxs - 1 do
+    match scan_from snapshot (Array.unsafe_get ctxs i) 0 0 with
+    | None -> Array.unsafe_set out i None
+    | Some e as hit ->
+      e.packets <- e.packets + 1;
+      Array.unsafe_set out i hit
+  done
 
 let entries t =
   let acc = ref [] in

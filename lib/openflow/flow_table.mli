@@ -51,14 +51,32 @@ val peek : t -> Ofmatch.context -> entry option
     differential checker uses to resolve a hypothetical packet without
     perturbing switch statistics. *)
 
-val lookup_batch : t -> Ofmatch.context array -> entry option array
-(** [lookup_batch t ctxs] is pointwise {!lookup} over the burst, with
-    the priority-bucket walk set up once for the whole batch and the
+val lookup_batch : t -> Ofmatch.context array -> entry option array -> unit
+(** [lookup_batch t ctxs out] is pointwise {!lookup} over the burst,
+    writing [out.(i)] for [ctxs.(i)]: the priority-bucket walk is set
+    up once for the whole batch (the only allocation) and the
     table-level counter bumped once by the batch size. Per-entry packet
-    counters advance exactly as under sequential {!lookup}. *)
+    counters advance exactly as under sequential {!lookup}. The output
+    array is caller-owned — allocate once, reuse across bursts. The
+    returned [Some] cells are shared with the table (allocated at
+    install time), so the per-packet loop allocates nothing; enforced
+    by [hot-path-alloc]. Raises [Invalid_argument] if [out] is shorter
+    than [ctxs]. *)
 
-val peek_batch : t -> Ofmatch.context array -> entry option array
+val peek_batch : t -> Ofmatch.context array -> entry option array -> unit
 (** Counter-free variant of {!lookup_batch}; pointwise {!peek}. *)
+
+type snapshot
+(** The per-burst scan state: the live priority buckets resolved once.
+    A snapshot is coherent until the next flow-mod; batch callers build
+    one per burst ({!Switch.resolve_batch} does). *)
+
+val snapshot : t -> snapshot
+(** The one amortized per-burst allocation behind the batch lookups. *)
+
+val snapshot_peek : snapshot -> Ofmatch.context -> entry option
+(** One counter-free lookup against a prepared snapshot; allocation-free
+    (the [Some] is the stored install-time cell). *)
 
 val entries : t -> entry list
 (** Priority-descending (lookup) order. *)

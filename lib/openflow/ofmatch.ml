@@ -30,8 +30,8 @@ let make ?in_port ?dl_src ?dl_dst ?dl_type ?nw_src ?nw_dst ?nw_proto ?tp_src
   { in_port; dl_src; dl_dst; dl_type; nw_src; nw_dst; nw_proto; tp_src; tp_dst }
 
 type context = {
-  arrival_port : int;
-  frame : Net.Ethernet.frame;
+  mutable arrival_port : int;
+  mutable frame : Net.Ethernet.frame;
 }
 
 (* For ARP frames, OpenFlow 1.0 overlays the network fields: nw_src/nw_dst

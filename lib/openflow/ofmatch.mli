@@ -40,10 +40,13 @@ val make :
   unit ->
   t
 
-(** What a packet looks like to the matching pipeline. *)
+(** What a packet looks like to the matching pipeline. Fields are
+    mutable so batch paths ({!Switch.resolve_batch}) can reuse one
+    scratch context across a burst instead of allocating one record per
+    frame; a context is never retained past the lookup that reads it. *)
 type context = {
-  arrival_port : int;
-  frame : Net.Ethernet.frame;
+  mutable arrival_port : int;
+  mutable frame : Net.Ethernet.frame;
 }
 
 val matches : t -> context -> bool

@@ -84,6 +84,12 @@ val resolve : t -> port:int -> Net.Ethernet.frame -> resolution
     touches no counters, schedules nothing and transmits nothing. This
     is the probe the differential checker aims at the data plane. *)
 
-val resolve_batch : t -> port:int -> Net.Ethernet.frame array -> resolution array
-(** Pointwise {!resolve} over a burst, sharing one table-traversal
-    setup. Equally side-effect-free. *)
+val resolve_batch :
+  t -> port:int -> Net.Ethernet.frame array -> resolution array -> unit
+(** [resolve_batch t ~port frames out] is pointwise {!resolve} over the
+    burst, writing [out.(i)] for [frames.(i)] and sharing one
+    table-traversal setup and one scratch match context. Equally
+    side-effect-free. The output array is caller-owned — allocate once,
+    reuse across bursts; the per-frame loop allocates nothing beyond
+    the resolutions themselves (enforced by [hot-path-alloc]). Raises
+    [Invalid_argument] if [out] is shorter than [frames]. *)

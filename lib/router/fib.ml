@@ -74,7 +74,8 @@ let enqueue_batch t ops =
 
 let lookup t addr = Net.Flat_fib.lookup_value t.table addr
 
-let lookup_batch t addrs out = Net.Flat_fib.lookup_batch t.table addrs out
+let[@lint.zero_alloc] lookup_batch t addrs out =
+  Net.Flat_fib.lookup_batch t.table addrs out
 
 let on_applied t f = t.observer <- Some f
 

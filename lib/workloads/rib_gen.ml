@@ -13,6 +13,9 @@ let length_table =
     (24, 0.55); (23, 0.65); (22, 0.77); (21, 0.84); (20, 0.90);
     (19, 0.95); (18, 0.97); (17, 0.98); (16, 1.00);
   |]
+[@@lint.domain_local
+  "constant cumulative-distribution table, written nowhere; array literal only\
+  \ for cheap indexed scans"]
 
 (* Denser mix for data-plane scale benchmarks: the long tail goes down
    to /28 and stops at /18, averaging ~620 addresses per entry, so the
@@ -23,6 +26,9 @@ let dense_length_table =
     (24, 0.50); (25, 0.62); (26, 0.72); (27, 0.78); (28, 0.82);
     (23, 0.88); (22, 0.93); (21, 0.96); (20, 0.98); (19, 0.99); (18, 1.00);
   |]
+[@@lint.domain_local
+  "constant cumulative-distribution table, written nowhere; array literal only\
+  \ for cheap indexed scans"]
 
 (* The full-Internet mix, cumulative, matching the published IPv4 table
    shape (CIDR report / route-collector snapshots, ~1M prefixes):
@@ -38,6 +44,9 @@ let internet_length_table =
     (14, 0.9980); (13, 0.9990); (12, 0.9995); (11, 0.9997); (10, 0.9998);
     (9, 0.9999); (8, 1.00);
   |]
+[@@lint.domain_local
+  "constant cumulative-distribution table, written nowhere; array literal only\
+  \ for cheap indexed scans"]
 
 (* AS-path hop-count mix (path length without prepending), cumulative.
    Route-collector feeds put the mode at 4 hops and the mean near 4.4;
@@ -47,6 +56,9 @@ let as_path_length_table =
     (1, 0.005); (2, 0.085); (3, 0.305); (4, 0.615); (5, 0.815);
     (6, 0.915); (7, 0.965); (8, 0.985); (9, 0.995); (10, 1.00);
   |]
+[@@lint.domain_local
+  "constant cumulative-distribution table, written nowhere; array literal only\
+  \ for cheap indexed scans"]
 
 let sample_length table rng =
   let x = Sim.Rng.float rng 1.0 in
